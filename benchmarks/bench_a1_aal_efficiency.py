@@ -1,0 +1,26 @@
+"""A1 (ablation): AAL5-class vs AAL3/4 data-path efficiency.
+
+Claim reproduced: AAL3/4's 4-bytes-per-cell SAR fields cost ~44/48 of
+the zero-overhead layer's goodput at saturation -- the arithmetic that
+decided the adaptation-layer argument of the era.
+"""
+
+import pytest
+
+from repro.results.experiments import run_a1
+
+SIZES = (512, 9180)
+
+
+def test_a1_aal_efficiency(run_once):
+    result = run_once(run_a1, sizes=SIZES, window=0.02)
+    print()
+    print(result.to_text())
+
+    aal5 = result.series.column("aal5_mbps")
+    aal34 = result.series.column("aal34_mbps")
+    # AAL3/4 always below AAL5; ratio at saturation ~= 44/48.
+    assert all(b < a for a, b in zip(aal5, aal34))
+    assert result.metrics["efficiency_ratio_at_mtu"] == pytest.approx(
+        44 / 48, rel=0.03
+    )

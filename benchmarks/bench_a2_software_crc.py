@@ -1,0 +1,21 @@
+"""A2 (ablation): CRC in hardware vs in engine software.
+
+Claim reproduced: moving the CRC onto the protocol engine multiplies
+the per-cell budget roughly ninefold and at least halves achievable
+throughput even at STS-3c -- per-byte work belongs in hardware.
+"""
+
+from repro.results.experiments import run_a2
+
+
+def test_a2_software_crc(run_once):
+    result = run_once(run_a2)
+    print()
+    print(result.to_text())
+
+    for row in result.rows:
+        _size, hw_tx, sw_tx, hw_rx, sw_rx = row
+        assert sw_tx < hw_tx / 2
+        assert sw_rx < hw_rx / 2
+    assert result.metrics["tx_slowdown"] > 2.0
+    assert result.metrics["rx_slowdown"] > 2.0

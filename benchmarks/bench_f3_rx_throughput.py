@@ -1,0 +1,33 @@
+"""F3: receive throughput vs PDU size.
+
+Claims reproduced: the receive path saturates the STS-3c link above a
+small knee, the simulation tracks the model, and the RX knee sits left
+of the TX knee (transmit pays the serial staging DMA per PDU; receive
+overlaps its completion DMA).
+"""
+
+from repro.results.experiments import run_f3
+
+SIZES = (40, 128, 512, 2048, 9180, 32768)
+
+
+def test_f3_rx_throughput(run_once):
+    result = run_once(run_f3, sizes=SIZES, window=0.02)
+    print()
+    print(result.to_text())
+
+    series = result.series
+    simulated = series.column("simulated_mbps")
+    model = series.column("model_mbps")
+
+    assert simulated[0] < simulated[-1]
+    for sim_v, model_v in zip(simulated, model):
+        assert abs(sim_v - model_v) / model_v < 0.15
+    # Knee exists at STS-3c and is left of the transmit knee.
+    from repro.analysis import saturating_pdu_size
+    from repro.nic import aurora_oc3
+
+    rx_knee = result.metrics["rx_knee_bytes"]
+    assert 0 < rx_knee < saturating_pdu_size(aurora_oc3(), "tx")
+    # At saturation the receive path runs the link.
+    assert simulated[-2] > 130.0

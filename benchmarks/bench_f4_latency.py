@@ -1,0 +1,34 @@
+"""F4: end-to-end latency decomposition.
+
+Claims reproduced: short-PDU latency is dominated by fixed per-PDU
+software (OS paths, interrupt), not the wire; large-PDU latency at
+STS-3c is serialization-dominated; the unloaded simulation matches the
+stage model almost exactly.
+"""
+
+from repro.analysis import latency_model
+from repro.nic import aurora_oc3
+from repro.results.experiments import run_f4
+
+SIZES = (64, 1024, 9180, 65535)
+
+
+def test_f4_latency_decomposition(run_once):
+    result = run_once(run_f4, sizes=SIZES)
+    print()
+    print(result.to_text())
+
+    # Model vs simulation: the unloaded path is deterministic, so the
+    # decomposition must match to sub-percent.
+    for row in result.rows:
+        model_total, simulated = row[-2], row[-1]
+        assert abs(simulated - model_total) / model_total < 0.01
+
+    # Short PDUs: software-dominated.
+    assert result.metrics["small_pdu_dominant"] == 1.0
+    small = latency_model(aurora_oc3(), 64)
+    assert small.link_serialization / small.total < 0.25
+
+    # Large PDUs at STS-3c: wire-dominated.
+    large = latency_model(aurora_oc3(), 65535)
+    assert large.dominant_stage() == "link_serialization"

@@ -1,0 +1,28 @@
+"""F6: receive goodput vs number of interleaved VCs.
+
+Claims reproduced: with the CAM the classification cost is flat in the
+VC count, so goodput holds up across two orders of magnitude of VCs;
+without the CAM the software probe's cost grows with the table and
+erodes goodput substantially.
+"""
+
+from repro.results.experiments import run_f6
+
+VC_COUNTS = (1, 4, 16, 64, 128)
+
+
+def test_f6_multi_vc(run_once):
+    result = run_once(run_f6, vc_counts=VC_COUNTS, window=0.02)
+    print()
+    print(result.to_text())
+
+    cam = result.series.column("cam_mbps")
+    software = result.series.column("software_mbps")
+
+    # At few VCs the lookup cost difference is invisible (link-bound).
+    assert abs(cam[0] - software[0]) / cam[0] < 0.05
+    # At many VCs the software probe has eroded goodput well below CAM.
+    assert software[-1] < 0.75 * cam[-1]
+    # CAM goodput retains most of its capacity across the sweep.
+    assert result.metrics["cam_retention"] > 0.75
+    assert result.metrics["software_retention"] < result.metrics["cam_retention"]

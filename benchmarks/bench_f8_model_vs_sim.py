@@ -1,0 +1,21 @@
+"""F8: analytic model vs discrete-event simulation.
+
+Claim reproduced: the paper's style of closed-form analysis is an
+accurate predictor of the simulated interface -- throughput within a
+few percent across the size range, unloaded latency essentially exact.
+Where the two diverge, the residual is the queueing/pipelining detail
+the closed forms deliberately ignore.
+"""
+
+from repro.results.experiments import run_f8
+
+SIZES = (64, 1024, 9180, 32768)
+
+
+def test_f8_model_vs_sim(run_once):
+    result = run_once(run_f8, sizes=SIZES, window=0.02)
+    print()
+    print(result.to_text())
+
+    assert result.metrics["worst_throughput_error_pct"] < 5.0
+    assert result.metrics["worst_latency_error_pct"] < 1.0

@@ -1,0 +1,21 @@
+"""T1: transmit-path cycle budget table.
+
+Claim reproduced: every per-cell transmit operation fits comfortably
+inside the link cell slot on the default engine; per-PDU overhead is a
+handful of microseconds, so it dominates only small PDUs.
+"""
+
+from repro.results.experiments import run_t1
+
+
+def test_t1_tx_budget(run_once):
+    result = run_once(run_t1)
+    print()
+    print(result.to_text())
+
+    # Middle-cell service time clears the STS-3c slot with margin.
+    assert result.metrics["cell_middle_us"] < result.metrics["cell_slot_us"] / 2
+    # The last cell pays the trailer; it is strictly costlier.
+    assert result.metrics["cell_last_us"] > result.metrics["cell_middle_us"]
+    # Per-PDU overhead is microseconds, not tens of microseconds.
+    assert 1.0 < result.metrics["pdu_overhead_us"] < 10.0

@@ -1,0 +1,29 @@
+"""T2: receive-path cycle budget table.
+
+Claims reproduced: receive is the per-cell-expensive direction, the CAM
+assist is what keeps classification cheap, and the middle-cell service
+time sits between the STS-12c and STS-3c cell slots -- the margin whose
+absence motivates per-cell hardware assists at 622 Mb/s.
+"""
+
+from repro.results.experiments import run_t1, run_t2
+
+
+def test_t2_rx_budget(run_once):
+    result = run_once(run_t2)
+    print()
+    print(result.to_text())
+
+    t1 = run_t1()
+    # RX per-cell exceeds TX per-cell (classification + context state).
+    assert (
+        result.metrics["cell_middle_cam_us"] > t1.metrics["cell_middle_us"]
+    )
+    # The CAM is load-bearing: software lookup at least doubles the cost.
+    assert (
+        result.metrics["cell_middle_sw_us"]
+        > 2 * result.metrics["cell_middle_cam_us"]
+    )
+    # Clears the STS-3c slot, misses the STS-12c slot (0.708 us).
+    assert result.metrics["cell_middle_cam_us"] < result.metrics["cell_slot_us"]
+    assert result.metrics["cell_middle_cam_us"] > 424 / 599.04e6 * 1e6

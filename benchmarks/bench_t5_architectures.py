@@ -1,0 +1,39 @@
+"""T5: the four interface architectures under one workload.
+
+Claims reproduced: the offloaded programmable interface beats host
+software SAR by well over an order of magnitude in deliverable
+throughput and in host cost; hardwired VLSI holds the ceiling; a single
+shared engine pays measurably under full-duplex load -- the reason the
+architecture uses one engine per direction.
+"""
+
+from repro.results.experiments import run_t5
+
+
+def test_t5_architecture_comparison(run_once):
+    result = run_once(run_t5, window=0.03)
+    print()
+    print(result.to_text())
+
+    rows = {row[0]: row for row in result.rows}
+    dual = rows["offloaded dual-engine"]
+    shared = rows["offloaded shared-engine"]
+    hardwired = rows["hardwired VLSI"]
+    hostsar = rows["host-software SAR"]
+
+    # Offload vs host software: > 10x in duplex throughput, > 10x in
+    # host cycles per PDU.
+    assert result.metrics["offloaded_vs_hostsar"] > 10
+    assert hostsar[4] > 10 * dual[4]
+
+    # Hardwired holds the ceiling but by less than 2x over programmable.
+    assert 1.0 < result.metrics["hardwired_vs_offloaded"] < 2.0
+
+    # One engine per direction: duplex aggregate suffers when shared.
+    assert result.metrics["dual_vs_shared"] > 1.3
+    # Single-direction capacities are identical dual vs shared.
+    assert shared[1] == dual[1]
+    assert shared[2] == dual[2]
+
+    # Flexibility column: only hardwired gives it up.
+    assert hardwired[5] == "no" and dual[5] == "yes"

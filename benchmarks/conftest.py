@@ -1,0 +1,24 @@
+"""Benchmark harness conventions.
+
+Each benchmark regenerates one table/figure of the evaluation (see
+DESIGN.md §3) with reduced-but-representative parameters, asserts the
+qualitative claim it exists to reproduce, and prints the regenerated
+table so `pytest benchmarks/ --benchmark-only -s` doubles as the
+reproduction report.  ``pedantic(rounds=1)`` is used throughout: each
+experiment is a deterministic simulation, so repeated timing rounds
+would only re-run identical work.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run *fn* exactly once under the benchmark clock; return its result."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return runner

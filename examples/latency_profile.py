@@ -1,0 +1,48 @@
+"""Where does a PDU's latency go?  The F4 decomposition, interactively.
+
+Prints the unloaded end-to-end latency budget for a range of PDU sizes
+on both link rates, using the closed-form model (which experiment F8
+shows matches the simulator exactly on the unloaded path), and
+identifies the dominant stage for each size.
+
+Run:  python examples/latency_profile.py
+"""
+
+from repro import aurora_oc3, aurora_oc12
+from repro.analysis import latency_model
+
+SIZES = (64, 512, 1500, 9180, 65535)
+
+
+def profile(config, label: str) -> None:
+    print(f"--- {label} ---")
+    for size in SIZES:
+        breakdown = latency_model(config, size)
+        total_us = breakdown.total * 1e6
+        dominant = breakdown.dominant_stage()
+        share = breakdown.as_dict()[dominant] / breakdown.total
+        wire = breakdown.link_serialization / breakdown.total
+        print(
+            f"  {size:6d} B: {total_us:9.1f} us total, "
+            f"dominated by {dominant:18s} ({share:.0%}; wire {wire:.0%})"
+        )
+    print()
+
+
+def main() -> None:
+    profile(aurora_oc3(), "STS-3c (155 Mb/s)")
+    profile(aurora_oc12(), "STS-12c (622 Mb/s)")
+
+    print("Observations the paper's analysis makes:")
+    print(" * small PDUs never see the wire speed: fixed per-PDU software")
+    print("   (OS send/receive, interrupt) dominates their latency;")
+    print(" * at 155 Mb/s, large PDUs are serialization-dominated -- the")
+    print("   wire is the honest bottleneck;")
+    print(" * at 622 Mb/s, even the largest PDUs become software-dominated:")
+    print("   the faster link exposes the host's per-byte copy as the next")
+    print("   bottleneck, which is why offload alone is not the end of the")
+    print("   story.")
+
+
+if __name__ == "__main__":
+    main()

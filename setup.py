@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The execution environment has no ``wheel`` package, so PEP 517 editable
+installs (which must build a wheel) fail.  This shim lets
+``pip install -e . --no-use-pep517`` (and plain ``pip install -e .`` via
+pip's automatic legacy fallback) work offline.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

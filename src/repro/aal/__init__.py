@@ -1,0 +1,59 @@
+"""ATM adaptation layers: segmentation and reassembly (SAR).
+
+Two adaptation layers are implemented functionally, bytes-in/bytes-out:
+
+- :mod:`repro.aal.aal5` -- the simple-and-efficient adaptation layer
+  (pad + 8-byte trailer with CRC-32, last-cell flag in the PTI).  This is
+  the lineage the paper's "computer data" path anticipates.
+- :mod:`repro.aal.aal34` -- the 1991-standard AAL3/4 SAR with per-cell
+  ST/SN/MID headers, LI and CRC-10 trailer, and CPCS BTag/ETag framing,
+  including MID multiplexing of interleaved PDUs on one VC.
+
+The host interface's protocol engines (:mod:`repro.nic`) call into these
+for the functional transformation and charge cycle budgets for the work;
+the same code runs un-budgeted in the host-based SAR baseline.
+"""
+
+from repro.aal.crc import CRC32_AAL5, CrcAlgorithm, crc10
+from repro.aal.aal5 import (
+    AAL5_MAX_SDU,
+    AAL5_TRAILER_SIZE,
+    Aal5Reassembler,
+    Aal5Segmenter,
+    build_cpcs_pdu,
+    parse_cpcs_pdu,
+)
+from repro.aal.aal34 import (
+    AAL34_SAR_PAYLOAD,
+    Aal34Reassembler,
+    Aal34Segmenter,
+    SarSegmentType,
+)
+from repro.aal.interface import (
+    AalError,
+    ReassemblyFailure,
+    ReassemblyStats,
+    SduIndication,
+)
+from repro.aal.reassembly import ReassemblyTimerWheel
+
+__all__ = [
+    "AAL34_SAR_PAYLOAD",
+    "AAL5_MAX_SDU",
+    "AAL5_TRAILER_SIZE",
+    "Aal34Reassembler",
+    "Aal34Segmenter",
+    "Aal5Reassembler",
+    "Aal5Segmenter",
+    "AalError",
+    "CRC32_AAL5",
+    "CrcAlgorithm",
+    "crc10",
+    "ReassemblyFailure",
+    "ReassemblyStats",
+    "ReassemblyTimerWheel",
+    "SarSegmentType",
+    "SduIndication",
+    "build_cpcs_pdu",
+    "parse_cpcs_pdu",
+]

@@ -1,0 +1,41 @@
+"""Closed-form models mirroring the paper's pencil-and-paper analysis.
+
+The original evaluation derives throughput and latency directly from
+cycle budgets -- no simulator existed.  This package reproduces those
+derivations so experiment F8 can cross-validate the discrete-event
+simulation against the analysis: where they agree, the simulator adds
+only queueing detail; where they diverge, the divergence *is* the
+finding (pipelining and contention the closed forms ignore).
+"""
+
+from repro.analysis.latency import LatencyBreakdown, latency_model
+from repro.analysis.sweep import Series, sweep
+from repro.analysis.throughput import (
+    end_to_end_throughput_model_mbps,
+    rx_saturation_mbps,
+    rx_throughput_model_mbps,
+    saturating_pdu_size,
+    tx_saturation_mbps,
+    tx_throughput_model_mbps,
+)
+from repro.analysis.utilization import (
+    host_cycles_per_pdu_hostsar,
+    host_cycles_per_pdu_offloaded,
+    offload_advantage,
+)
+
+__all__ = [
+    "LatencyBreakdown",
+    "Series",
+    "end_to_end_throughput_model_mbps",
+    "host_cycles_per_pdu_hostsar",
+    "host_cycles_per_pdu_offloaded",
+    "latency_model",
+    "offload_advantage",
+    "rx_saturation_mbps",
+    "rx_throughput_model_mbps",
+    "saturating_pdu_size",
+    "sweep",
+    "tx_saturation_mbps",
+    "tx_throughput_model_mbps",
+]

@@ -1,0 +1,70 @@
+"""Parameter-sweep containers shared by experiments and benchmarks.
+
+A :class:`Series` is the in-memory shape of one figure: named x values
+and one or more named y vectors.  Keeping it dependency-free lets the
+core library build figures that the harness renders as text tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+
+@dataclass
+class Series:
+    """One figure's worth of data: x plus named y columns."""
+
+    name: str
+    x_label: str
+    x: List[float] = field(default_factory=list)
+    columns: Dict[str, List[float]] = field(default_factory=dict)
+
+    def add_point(self, x: float, **ys: float) -> None:
+        """Append one x and its y values (columns must stay consistent)."""
+        if self.x and set(ys) != set(self.columns):
+            raise ValueError(
+                f"point columns {sorted(ys)} != series columns "
+                f"{sorted(self.columns)}"
+            )
+        self.x.append(x)
+        for key, value in ys.items():
+            self.columns.setdefault(key, []).append(value)
+
+    def column(self, name: str) -> List[float]:
+        return self.columns[name]
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+    def crossover(self, a: str, b: str) -> float | None:
+        """First x where column *a* stops exceeding column *b* (or None)."""
+        ya, yb = self.columns[a], self.columns[b]
+        for x, va, vb in zip(self.x, ya, yb):
+            if va <= vb:
+                return x
+        return None
+
+    def rows(self) -> List[List[float]]:
+        """Tabular form: one row per x."""
+        keys = sorted(self.columns)
+        return [
+            [x] + [self.columns[k][i] for k in keys]
+            for i, x in enumerate(self.x)
+        ]
+
+    def headers(self) -> List[str]:
+        return [self.x_label] + sorted(self.columns)
+
+
+def sweep(
+    name: str,
+    x_label: str,
+    xs: Sequence[float],
+    fn: Callable[[float], Dict[str, float]],
+) -> Series:
+    """Evaluate ``fn(x)`` over *xs*, collecting its dict outputs."""
+    series = Series(name=name, x_label=x_label)
+    for x in xs:
+        series.add_point(x, **fn(x))
+    return series

@@ -1,0 +1,192 @@
+"""Closed-form throughput: the paper's core feasibility arithmetic.
+
+In steady state the pipeline stages (engine, bus, link) overlap, so the
+sustainable PDU rate is set by the *slowest* stage::
+
+    T_engine(n) = (per-PDU cycles + n * per-cell cycles) / engine clock
+    T_link(n)   = n * cell slot time
+    T_bus(n)    = bus occupancy of the PDU's bytes
+    rate        = 1 / max(T_engine, T_link, T_bus)
+
+User throughput is then ``sdu_bits x rate``.  Small PDUs are dominated
+by per-PDU engine overhead (the left side of the F2/F3 curves); large
+PDUs saturate the link unless the per-cell budget exceeds the cell slot
+-- the paper's go/no-go criterion for each link rate.
+"""
+
+from __future__ import annotations
+
+from repro.aal.aal5 import cells_for_sdu
+from repro.nic.config import NicConfig
+from repro.nic.costs import CellPosition
+
+
+def _dma_time(config: NicConfig, sdu_size: int) -> float:
+    """One whole-PDU DMA: machine setup + bus occupancy + completion."""
+    return (
+        config.dma.setup_time
+        + config.bus.transfer_time(sdu_size)
+        + config.dma.completion_time
+    )
+
+
+def _tx_engine_time(config: NicConfig, n_cells: int, sdu_size: int) -> float:
+    """Engine-loop time per PDU.
+
+    The engine *waits* for the staging DMA (the firmware loop is
+    sequential), so the DMA belongs to the engine stage, not a parallel
+    one.
+    """
+    cycles = config.tx_costs.pdu_total_cycles(n_cells)
+    return config.tx_engine.seconds_for(cycles) + _dma_time(config, sdu_size)
+
+
+def _rx_engine_time(config: NicConfig, n_cells: int, sdu_size: int) -> float:
+    """Engine-loop time per PDU.
+
+    Unlike transmit, the completion DMA runs concurrently with the
+    engine (the engine only posts it), so it is a separate pipeline
+    stage, not part of this one.
+    """
+    cycles = config.rx_costs.pdu_total_cycles(n_cells, config.cam_fitted)
+    return config.rx_engine.seconds_for(cycles)
+
+
+def _link_time(config: NicConfig, n_cells: int) -> float:
+    return n_cells * config.link.cell_time
+
+
+def _fifo_slack(config: NicConfig, depth_cells: int) -> float:
+    """Wire time a link-side FIFO can bridge while the engine is away."""
+    return depth_cells * config.link.cell_time
+
+
+def _tx_effective_link_time(config: NicConfig, n_cells: int, sdu_size: int) -> float:
+    """Link stage corrected for the non-overlapped staging DMA.
+
+    Between PDUs the engine fetches the next descriptor and waits for
+    its DMA; the transmit FIFO keeps the wire busy for at most its depth
+    in cell slots.  Any staging time beyond that slack stretches the
+    effective link period.
+    """
+    away = _dma_time(config, sdu_size) + config.tx_engine.seconds_for(
+        config.tx_costs.descriptor_fetch
+        + config.tx_costs.header_template_load
+        + config.tx_costs.dma_setup
+    )
+    uncovered = max(0.0, away - _fifo_slack(config, config.tx_fifo_cells))
+    return _link_time(config, n_cells) + uncovered
+
+
+def _rx_effective_link_time(config: NicConfig, n_cells: int, sdu_size: int) -> float:
+    """Link stage on receive (no DMA correction: the DMA is concurrent)."""
+    return _link_time(config, n_cells)
+
+
+def tx_throughput_model_mbps(config: NicConfig, sdu_size: int) -> float:
+    """Sustainable transmit user throughput for back-to-back PDUs."""
+    n = cells_for_sdu(sdu_size)
+    bottleneck = max(
+        _tx_engine_time(config, n, sdu_size),
+        _tx_effective_link_time(config, n, sdu_size),
+    )
+    if bottleneck == 0:
+        return float("inf")
+    return (sdu_size * 8 / bottleneck) / 1e6
+
+
+def rx_throughput_model_mbps(config: NicConfig, sdu_size: int) -> float:
+    """Sustainable receive user throughput for back-to-back PDUs."""
+    n = cells_for_sdu(sdu_size)
+    bottleneck = max(
+        _rx_engine_time(config, n, sdu_size),
+        _rx_effective_link_time(config, n, sdu_size),
+        _dma_time(config, sdu_size),
+    )
+    if bottleneck == 0:
+        return float("inf")
+    return (sdu_size * 8 / bottleneck) / 1e6
+
+
+def _host_send_time(config: NicConfig, sdu_size: int) -> float:
+    """Host CPU time to post one PDU (the software pipeline stage)."""
+    cycles = config.os_costs.send_path_cycles(sdu_size)
+    return cycles / config.host_cpu.clock_hz
+
+
+def _host_receive_time(config: NicConfig, sdu_size: int) -> float:
+    """Host CPU time to take one completion (interrupt + OS path)."""
+    cycles = (
+        config.interrupt.entry_cycles
+        + config.os_costs.driver_rx_cycles
+        + config.interrupt.exit_cycles
+        + config.os_costs.receive_path_cycles(sdu_size)
+    )
+    return cycles / config.host_cpu.clock_hz
+
+
+def end_to_end_throughput_model_mbps(config: NicConfig, sdu_size: int) -> float:
+    """Sustainable goodput including the host software stages.
+
+    The full pipeline: sending host -> TX engine -> link -> RX engine ->
+    receiving host.  For small PDUs the host stages dominate even with
+    offload -- the residual per-PDU cost the architecture cannot remove.
+    """
+    n = cells_for_sdu(sdu_size)
+    bottleneck = max(
+        _host_send_time(config, sdu_size),
+        _tx_engine_time(config, n, sdu_size),
+        _tx_effective_link_time(config, n, sdu_size),
+        _rx_engine_time(config, n, sdu_size),
+        _rx_effective_link_time(config, n, sdu_size),
+        _dma_time(config, sdu_size),
+        _host_receive_time(config, sdu_size),
+    )
+    if bottleneck == 0:
+        return float("inf")
+    return (sdu_size * 8 / bottleneck) / 1e6
+
+
+def tx_saturation_mbps(config: NicConfig) -> float:
+    """Large-PDU transmit ceiling: per-cell engine rate vs cell slot."""
+    per_cell = config.tx_engine.seconds_for(
+        config.tx_costs.cell_cycles(CellPosition.MIDDLE)
+    )
+    limit = max(per_cell, config.link.cell_time)
+    return (48 * 8 / limit) / 1e6
+
+
+def rx_saturation_mbps(config: NicConfig) -> float:
+    """Large-PDU receive ceiling: per-cell engine rate vs cell slot."""
+    per_cell = config.rx_engine.seconds_for(
+        config.rx_costs.cell_cycles(CellPosition.MIDDLE, config.cam_fitted)
+    )
+    limit = max(per_cell, config.link.cell_time)
+    return (48 * 8 / limit) / 1e6
+
+
+def saturating_pdu_size(config: NicConfig, direction: str = "tx") -> int:
+    """Smallest SDU (bytes) at which the link becomes the bottleneck.
+
+    Returns the knee of the F2/F3 curve; if the engine can never keep
+    up with the link (per-cell time above the cell slot), returns -1.
+    """
+    if direction not in ("tx", "rx"):
+        raise ValueError("direction must be 'tx' or 'rx'")
+    engine_time = _tx_engine_time if direction == "tx" else _rx_engine_time
+    # Per-cell feasibility first: if even the largest PDU is engine-bound
+    # there is no knee.
+    probe = 48 * 1300
+    if engine_time(config, cells_for_sdu(probe), probe) > _link_time(
+        config, cells_for_sdu(probe)
+    ):
+        return -1
+    lo, hi = 1, probe
+    while lo < hi:
+        mid = (lo + hi) // 2
+        n = cells_for_sdu(mid)
+        if engine_time(config, n, mid) <= _link_time(config, n):
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo

@@ -1,0 +1,57 @@
+"""VPI/VCI addressing helpers.
+
+ATM identifies a virtual channel on a link by the (VPI, VCI) pair.  VCIs
+0..31 on VPI 0 are reserved by I.361 for framing, signalling and
+management; user VCs must avoid them.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+#: VCIs below this value (on VPI 0) are reserved by I.361.
+RESERVED_VCI_LIMIT = 32
+
+VCI_UNASSIGNED = 0
+VCI_META_SIGNALLING = 1
+VCI_BROADCAST_SIGNALLING = 2
+VCI_SIGNALLING = 5
+VCI_ILMI = 16
+
+MAX_VPI_UNI = 0xFF
+MAX_VPI_NNI = 0xFFF
+MAX_VCI = 0xFFFF
+
+
+class VcAddress(NamedTuple):
+    """A (VPI, VCI) pair identifying a virtual channel on one link."""
+
+    vpi: int
+    vci: int
+
+    @classmethod
+    def validated(cls, vpi: int, vci: int, nni: bool = False) -> "VcAddress":
+        """Construct with range checking (use for user input paths)."""
+        max_vpi = MAX_VPI_NNI if nni else MAX_VPI_UNI
+        if not 0 <= vpi <= max_vpi:
+            raise ValueError(f"VPI {vpi} out of range 0..{max_vpi}")
+        if not 0 <= vci <= MAX_VCI:
+            raise ValueError(f"VCI {vci} out of range 0..{MAX_VCI}")
+        return cls(vpi, vci)
+
+    @property
+    def is_reserved(self) -> bool:
+        """True for the I.361 reserved range (VPI 0, VCI < 32)."""
+        return self.vpi == 0 and self.vci < RESERVED_VCI_LIMIT
+
+    @property
+    def is_signalling(self) -> bool:
+        return self.vpi == 0 and self.vci == VCI_SIGNALLING
+
+    def __str__(self) -> str:
+        return f"{self.vpi}/{self.vci}"
+
+
+def first_user_vci(start: int = RESERVED_VCI_LIMIT) -> int:
+    """Lowest VCI usable for user traffic (for allocators)."""
+    return max(start, RESERVED_VCI_LIMIT)

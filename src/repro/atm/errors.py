@@ -1,0 +1,148 @@
+"""Cell loss and corruption models.
+
+Loss in ATM networks is bursty: congestion drops cluster because a full
+switch buffer stays full for many slot times.  Besides the uniform
+(Bernoulli) model, the two-state Gilbert-Elliott model captures that
+correlation and is the standard way to synthesise it.
+
+Models are deliberately stateless with respect to the simulator: they are
+fed the cell and the current time and answer drop/keep, so the same model
+type plugs into links, switch ports and test fixtures.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Protocol
+
+from repro.atm.cell import AtmCell
+
+
+class LossModel(Protocol):
+    """Anything that can decide a cell's fate at a given instant."""
+
+    def should_drop(self, cell: AtmCell, now: float) -> bool:
+        """Return True to drop *cell*."""
+        ...  # pragma: no cover
+
+
+class NoLoss:
+    """The ideal channel; drops nothing."""
+
+    def should_drop(self, cell: AtmCell, now: float) -> bool:
+        return False
+
+
+class UniformLoss:
+    """Independent Bernoulli loss with probability *p* per cell."""
+
+    def __init__(self, p: float, rng: Optional[random.Random] = None) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"loss probability {p} outside [0, 1]")
+        self.p = p
+        self.rng = rng if rng is not None else random.Random(0)
+        self.offered = 0
+        self.dropped = 0
+
+    def should_drop(self, cell: AtmCell, now: float) -> bool:
+        self.offered += 1
+        if self.p > 0.0 and self.rng.random() < self.p:
+            self.dropped += 1
+            return True
+        return False
+
+    @property
+    def observed_rate(self) -> float:
+        return self.dropped / self.offered if self.offered else 0.0
+
+
+class GilbertElliottLoss:
+    """Two-state Markov loss: a GOOD state and a lossy BAD state.
+
+    Transitions are evaluated per cell.  With ``p_good_to_bad`` small and
+    ``p_bad_to_good`` moderate, losses arrive in bursts whose mean length
+    is ``1 / p_bad_to_good`` cells -- the signature of congestion drops.
+    """
+
+    def __init__(
+        self,
+        p_good_to_bad: float,
+        p_bad_to_good: float,
+        loss_in_bad: float = 1.0,
+        loss_in_good: float = 0.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        for name, p in (
+            ("p_good_to_bad", p_good_to_bad),
+            ("p_bad_to_good", p_bad_to_good),
+            ("loss_in_bad", loss_in_bad),
+            ("loss_in_good", loss_in_good),
+        ):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name}={p} outside [0, 1]")
+        self.p_good_to_bad = p_good_to_bad
+        self.p_bad_to_good = p_bad_to_good
+        self.loss_in_bad = loss_in_bad
+        self.loss_in_good = loss_in_good
+        self.rng = rng if rng is not None else random.Random(0)
+        self.in_bad = False
+        self.offered = 0
+        self.dropped = 0
+
+    def should_drop(self, cell: AtmCell, now: float) -> bool:
+        self.offered += 1
+        if self.in_bad:
+            if self.rng.random() < self.p_bad_to_good:
+                self.in_bad = False
+        else:
+            if self.rng.random() < self.p_good_to_bad:
+                self.in_bad = True
+        loss_p = self.loss_in_bad if self.in_bad else self.loss_in_good
+        if loss_p > 0.0 and self.rng.random() < loss_p:
+            self.dropped += 1
+            return True
+        return False
+
+    @property
+    def steady_state_loss(self) -> float:
+        """Analytic long-run loss rate of the chain (for test oracles)."""
+        denom = self.p_good_to_bad + self.p_bad_to_good
+        if denom == 0:
+            return self.loss_in_bad if self.in_bad else self.loss_in_good
+        pi_bad = self.p_good_to_bad / denom
+        return pi_bad * self.loss_in_bad + (1 - pi_bad) * self.loss_in_good
+
+
+class BitErrorModel:
+    """Payload corruption: flips one random bit with probability *p*.
+
+    Returns new cell objects (cells are immutable); used to exercise the
+    adaptation layers' CRC machinery end to end.
+    """
+
+    def __init__(self, p: float, rng: Optional[random.Random] = None) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"corruption probability {p} outside [0, 1]")
+        self.p = p
+        self.rng = rng if rng is not None else random.Random(0)
+        self.corrupted = 0
+
+    def maybe_corrupt(self, cell: AtmCell) -> AtmCell:
+        """Return *cell* or a copy with one payload bit flipped."""
+        if self.p == 0.0 or self.rng.random() >= self.p:
+            return cell
+        self.corrupted += 1
+        payload = bytearray(cell.payload)
+        bit = self.rng.randrange(len(payload) * 8)
+        payload[bit // 8] ^= 0x80 >> (bit % 8)
+        corrupted = AtmCell(
+            vpi=cell.vpi,
+            vci=cell.vci,
+            payload=bytes(payload),
+            pti=cell.pti,
+            clp=cell.clp,
+            gfc=cell.gfc,
+        )
+        corrupted.meta.update(cell.meta)
+        corrupted.meta["corrupted"] = True
+        return corrupted

@@ -1,0 +1,109 @@
+"""Cell multiplexing onto an output link with finite buffering.
+
+An :class:`OutputPort` is the canonical ATM congestion point: a FIFO of
+cells draining at link rate.  When the FIFO is full, arriving cells are
+dropped (drop-tail) -- this is where correlated loss comes from in real
+switches.  A :class:`CellMultiplexer` funnels several upstream sources
+into one port.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.atm.cell import AtmCell
+from repro.atm.link import PhysicalLink
+from repro.sim.core import Simulator
+from repro.sim.monitor import Counter, TimeWeightedStat
+
+
+class OutputPort:
+    """A bounded cell FIFO drained onto a physical link.
+
+    The drain process is event-driven: whenever the queue becomes
+    non-empty a serialization is started, and each serialization's
+    completion pulls the next cell.  Occupancy is tracked time-weighted
+    so buffer-sizing experiments read the mean/max directly.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        link: PhysicalLink,
+        buffer_cells: Optional[int] = None,
+        name: str = "port",
+    ) -> None:
+        if buffer_cells is not None and buffer_cells < 1:
+            raise ValueError("buffer_cells must be >= 1 or None (unbounded)")
+        self.sim = sim
+        self.link = link
+        self.buffer_cells = buffer_cells
+        self.name = name
+        self._queue: Deque[AtmCell] = deque()
+        self._draining = False
+        self.enqueued = Counter(f"{name}.enqueued")
+        self.dropped = Counter(f"{name}.dropped")
+        self.occupancy = TimeWeightedStat(sim.now, 0)
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def is_full(self) -> bool:
+        return (
+            self.buffer_cells is not None
+            and len(self._queue) >= self.buffer_cells
+        )
+
+    def offer(self, cell: AtmCell) -> bool:
+        """Accept *cell* into the FIFO, or drop it if full."""
+        if self.is_full:
+            self.dropped.increment()
+            return False
+        self._queue.append(cell)
+        self.enqueued.increment()
+        self.occupancy.record(self.sim.now, len(self._queue))
+        if not self._draining:
+            self._drain_next()
+        return True
+
+    # Alias so a port can terminate a PhysicalLink directly.
+    receive_cell = offer
+
+    def _drain_next(self) -> None:
+        if not self._queue:
+            self._draining = False
+            return
+        self._draining = True
+        cell = self._queue.popleft()
+        self.occupancy.record(self.sim.now, len(self._queue))
+        done = self.link.send(cell)
+        done.add_callback(lambda _ev: self._drain_next())
+
+    @property
+    def loss_ratio(self) -> float:
+        offered = self.enqueued.count + self.dropped.count
+        return self.dropped.count / offered if offered else 0.0
+
+
+class CellMultiplexer:
+    """N-to-1 cell funnel: many sources feed one :class:`OutputPort`.
+
+    Sources call :meth:`input` (or use the object as a cell sink).  The
+    multiplexer itself adds no delay -- contention shows up as queueing
+    in the port, exactly as in an output-buffered switch element.
+    """
+
+    def __init__(self, sim: Simulator, port: OutputPort, name: str = "mux"):
+        self.sim = sim
+        self.port = port
+        self.name = name
+        self.cells_in = Counter(f"{name}.in")
+
+    def input(self, cell: AtmCell) -> bool:
+        """Feed one cell through the mux; False if the port dropped it."""
+        self.cells_in.increment()
+        return self.port.offer(cell)
+
+    receive_cell = input

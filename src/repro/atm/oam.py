@@ -1,0 +1,101 @@
+"""OAM F5 loopback: the cell-level ping of the management plane.
+
+I.610 defines fault-management cells that flow *inside* a virtual
+channel (F5 flow) but are marked by the PTI as management traffic
+(PTI = 0b101 for end-to-end).  The loopback function is the one every
+operator used: send a loopback cell with the "to be looped" indication
+set, the far end's hardware reflects it with the indication cleared,
+and the round-trip time measures the path through both interfaces'
+cell machinery -- *without* touching either host.
+
+Cell payload layout modelled here (48 bytes)::
+
+    | OAM type/function (1) | loopback indication (1) |
+    | correlation tag (4)   | source id (12)          |
+    | unused / 0x6A fill (28) | reserved (6 bits) + CRC-10 |
+
+The CRC-10 uses the same convention as the AAL3/4 SAR trailer: the
+last 10 bits hold the residue of the whole payload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.aal.crc import crc10
+from repro.atm.addressing import VcAddress
+from repro.atm.cell import PAYLOAD_SIZE, PTI_OAM_END_TO_END, AtmCell
+
+_OAM_TYPE_FAULT_LOOPBACK = 0x18  # fault management (0001), loopback (1000)
+_FILL = 0x6A
+_SOURCE_ID_SIZE = 12
+
+LOOP_ME = 0x01  #: loopback indication: please reflect this cell
+LOOPED = 0x00  #: loopback indication: this is the reflection
+
+
+class OamFormatError(ValueError):
+    """Malformed or corrupted OAM cell payload."""
+
+
+@dataclass(frozen=True)
+class LoopbackCell:
+    """Decoded form of an F5 loopback cell."""
+
+    vc: VcAddress
+    correlation: int
+    to_be_looped: bool
+    source_id: bytes = bytes(_SOURCE_ID_SIZE)
+
+    def encode(self) -> AtmCell:
+        """Build the on-the-wire cell (PTI marks it as end-to-end OAM)."""
+        if not 0 <= self.correlation <= 0xFFFFFFFF:
+            raise OamFormatError("correlation tag is 32 bits")
+        if len(self.source_id) != _SOURCE_ID_SIZE:
+            raise OamFormatError(f"source id is {_SOURCE_ID_SIZE} bytes")
+        body = (
+            bytes((_OAM_TYPE_FAULT_LOOPBACK, LOOP_ME if self.to_be_looped else LOOPED))
+            + self.correlation.to_bytes(4, "big")
+            + self.source_id
+            + bytes([_FILL]) * (PAYLOAD_SIZE - 2 - 4 - _SOURCE_ID_SIZE - 2)
+            + bytes(2)  # reserved bits + zeroed CRC field
+        )
+        trailer = crc10(body)
+        payload = body[:-2] + trailer.to_bytes(2, "big")
+        return AtmCell(
+            vpi=self.vc.vpi,
+            vci=self.vc.vci,
+            payload=payload,
+            pti=PTI_OAM_END_TO_END,
+        )
+
+    @classmethod
+    def decode(cls, cell: AtmCell) -> "LoopbackCell":
+        """Parse an OAM cell; raises :class:`OamFormatError` on damage."""
+        if cell.is_user_cell:
+            raise OamFormatError("not an OAM cell (PTI marks user data)")
+        payload = cell.payload
+        if crc10(payload) != 0:
+            raise OamFormatError("OAM CRC-10 failed")
+        if payload[0] != _OAM_TYPE_FAULT_LOOPBACK:
+            raise OamFormatError(
+                f"unsupported OAM type/function 0x{payload[0]:02x}"
+            )
+        indication = payload[1]
+        if indication not in (LOOP_ME, LOOPED):
+            raise OamFormatError(f"bad loopback indication {indication}")
+        return cls(
+            vc=VcAddress(cell.vpi, cell.vci),
+            correlation=int.from_bytes(payload[2:6], "big"),
+            to_be_looped=indication == LOOP_ME,
+            source_id=payload[6 : 6 + _SOURCE_ID_SIZE],
+        )
+
+    def reflection(self) -> "LoopbackCell":
+        """The cell the far end sends back (indication cleared)."""
+        return LoopbackCell(
+            vc=self.vc,
+            correlation=self.correlation,
+            to_be_looped=False,
+            source_id=self.source_id,
+        )

@@ -1,0 +1,287 @@
+"""Signalling-lite: out-of-band call control on the well-known VCI 5.
+
+ATM signalling (the lineage that became Q.93B/Q.2931) is *out of band*:
+connection-control messages travel on their own reserved channel, and
+user VCs exist only after a SETUP/CONNECT handshake installed them at
+both ends.  This module implements a deliberately small but complete
+version of that discipline:
+
+- four messages -- SETUP, CONNECT, RELEASE, RELEASE_COMPLETE -- with a
+  fixed binary encoding carried as AAL5 SDUs on VPI 0 / VCI 5;
+- a per-endpoint :class:`SignallingAgent` with call-reference
+  allocation and a caller/callee state machine
+  (IDLE -> CALL_INITIATED -> ACTIVE -> RELEASING -> released);
+- callee-side admission policy via a callback, and automatic VC
+  allocation out of the callee's table (the address travels back in
+  the CONNECT).
+
+The agents run over the same data path as user traffic, so a SETUP
+really is segmented into cells, crosses the link, and pays the engine
+budgets -- call-setup latency is therefore a measurable quantity.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.atm.addressing import VCI_SIGNALLING, VcAddress
+from repro.sim.core import Event, Simulator
+from repro.sim.monitor import Counter
+
+SIGNALLING_VC = VcAddress(0, VCI_SIGNALLING)
+
+_MESSAGE_SIZE = 18
+_MAGIC = 0x5A
+
+
+class MessageType(enum.IntEnum):
+    SETUP = 1
+    CONNECT = 2
+    RELEASE = 3
+    RELEASE_COMPLETE = 4
+
+
+class CallState(enum.Enum):
+    IDLE = "idle"
+    CALL_INITIATED = "call-initiated"  #: caller sent SETUP
+    ACTIVE = "active"  #: CONNECT exchanged, user VC open
+    RELEASING = "releasing"  #: RELEASE sent, awaiting completion
+
+
+@dataclass(frozen=True)
+class SignallingMessage:
+    """One call-control message.
+
+    Wire format (18 bytes)::
+
+        | magic (1) | type (1) | call_ref (4) | vpi (2) | vci (2) |
+        | peak_rate_bps (8)                                        |
+    """
+
+    message_type: MessageType
+    call_ref: int
+    vpi: int = 0
+    vci: int = 0
+    peak_rate_bps: int = 0
+
+    def encode(self) -> bytes:
+        return (
+            bytes((_MAGIC, int(self.message_type)))
+            + self.call_ref.to_bytes(4, "big")
+            + self.vpi.to_bytes(2, "big")
+            + self.vci.to_bytes(2, "big")
+            + self.peak_rate_bps.to_bytes(8, "big")
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "SignallingMessage":
+        if len(data) != _MESSAGE_SIZE:
+            raise ValueError(f"signalling message is {_MESSAGE_SIZE} bytes")
+        if data[0] != _MAGIC:
+            raise ValueError("bad signalling magic byte")
+        return cls(
+            message_type=MessageType(data[1]),
+            call_ref=int.from_bytes(data[2:6], "big"),
+            vpi=int.from_bytes(data[6:8], "big"),
+            vci=int.from_bytes(data[8:10], "big"),
+            peak_rate_bps=int.from_bytes(data[10:18], "big"),
+        )
+
+
+@dataclass
+class Call:
+    """One call's local state."""
+
+    call_ref: int
+    state: CallState
+    is_caller: bool
+    address: Optional[VcAddress] = None
+    peak_rate_bps: Optional[float] = None
+    #: Fires with the user VcAddress on CONNECT (caller side).
+    connected: Optional[Event] = None
+    #: Fires when the release handshake completes.
+    released: Optional[Event] = None
+
+
+class SignallingAgent:
+    """Call control for one interface endpoint.
+
+    Construction opens the signalling channel on the interface and
+    hooks its receive path.  Typical use::
+
+        agent_a = SignallingAgent(sim, nic_a)
+        agent_b = SignallingAgent(sim, nic_b)
+
+        def caller():
+            call = agent_a.place_call(peak_rate_bps=20e6)
+            address = yield call.connected     # VC now open on both ends
+            yield nic_a.send(address, b"data on a signalled VC")
+
+    The callee accepts by default; install ``on_setup`` to apply
+    admission control (return False to refuse -- the caller's
+    ``connected`` event then fails with :class:`CallRefused`).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interface,
+        on_setup: Optional[Callable[[SignallingMessage], bool]] = None,
+        name: str = "",
+    ) -> None:
+        self.sim = sim
+        self.interface = interface
+        self.on_setup = on_setup
+        self.name = name or f"{interface.name}.sig"
+        self._calls: Dict[int, Call] = {}
+        self._call_refs = itertools.count(1)
+        self.messages_sent = Counter(f"{self.name}.sent")
+        self.messages_received = Counter(f"{self.name}.received")
+        self.calls_refused = Counter(f"{self.name}.refused")
+
+        self._open_signalling_channel()
+
+    # -- wiring ------------------------------------------------------------
+
+    def _open_signalling_channel(self) -> None:
+        nic = self.interface
+        if SIGNALLING_VC not in nic.vc_table:
+            nic.vc_table.open_reserved(SIGNALLING_VC, name="signalling")
+            if nic.cam is not None:
+                nic.cam.install(
+                    SIGNALLING_VC, nic.vc_table.lookup(SIGNALLING_VC)
+                )
+        #: Non-signalling PDUs are forwarded here; assign this (not
+        #: ``interface.on_pdu``, which the agent now owns) to receive
+        #: user traffic.  Pre-existing handlers are preserved.
+        self.on_user_pdu: Optional[Callable] = nic.on_pdu
+        nic.on_pdu = self._demux
+
+    def _demux(self, completion) -> None:
+        if completion.vc == SIGNALLING_VC:
+            self._handle(SignallingMessage.decode(completion.sdu))
+        elif self.on_user_pdu is not None:
+            self.on_user_pdu(completion)
+
+    def _send(self, message: SignallingMessage) -> None:
+        self.messages_sent.increment()
+        self.interface.send(SIGNALLING_VC, message.encode())
+
+    # -- caller side ---------------------------------------------------------
+
+    def place_call(self, peak_rate_bps: Optional[float] = None) -> Call:
+        """Initiate a call; yield ``call.connected`` for the VC address."""
+        call_ref = next(self._call_refs)
+        call = Call(
+            call_ref=call_ref,
+            state=CallState.CALL_INITIATED,
+            is_caller=True,
+            peak_rate_bps=peak_rate_bps,
+            connected=self.sim.event(),
+            released=self.sim.event(),
+        )
+        self._calls[call_ref] = call
+        self._send(
+            SignallingMessage(
+                MessageType.SETUP,
+                call_ref,
+                peak_rate_bps=int(peak_rate_bps or 0),
+            )
+        )
+        return call
+
+    def release_call(self, call: Call) -> Event:
+        """Tear the call down; yield the returned event for completion."""
+        if call.state is not CallState.ACTIVE:
+            raise ValueError(f"call {call.call_ref} is not active")
+        call.state = CallState.RELEASING
+        self._send(SignallingMessage(MessageType.RELEASE, call.call_ref))
+        return call.released
+
+    def call_for(self, call_ref: int) -> Optional[Call]:
+        return self._calls.get(call_ref)
+
+    @property
+    def active_calls(self) -> int:
+        return sum(
+            1 for c in self._calls.values() if c.state is CallState.ACTIVE
+        )
+
+    # -- message handling ---------------------------------------------------------
+
+    def _handle(self, message: SignallingMessage) -> None:
+        self.messages_received.increment()
+        handler = {
+            MessageType.SETUP: self._on_setup,
+            MessageType.CONNECT: self._on_connect,
+            MessageType.RELEASE: self._on_release,
+            MessageType.RELEASE_COMPLETE: self._on_release_complete,
+        }[message.message_type]
+        handler(message)
+
+    def _on_setup(self, message: SignallingMessage) -> None:
+        if self.on_setup is not None and not self.on_setup(message):
+            self.calls_refused.increment()
+            self._send(
+                SignallingMessage(MessageType.RELEASE_COMPLETE, message.call_ref)
+            )
+            return
+        peak = float(message.peak_rate_bps) or None
+        vc = self.interface.open_vc(peak_rate_bps=peak)
+        call = Call(
+            call_ref=message.call_ref,
+            state=CallState.ACTIVE,
+            is_caller=False,
+            address=vc.address,
+            peak_rate_bps=peak,
+            released=self.sim.event(),
+        )
+        self._calls[message.call_ref] = call
+        self._send(
+            SignallingMessage(
+                MessageType.CONNECT,
+                message.call_ref,
+                vpi=vc.address.vpi,
+                vci=vc.address.vci,
+            )
+        )
+
+    def _on_connect(self, message: SignallingMessage) -> None:
+        call = self._calls.get(message.call_ref)
+        if call is None or call.state is not CallState.CALL_INITIATED:
+            return
+        address = VcAddress(message.vpi, message.vci)
+        self.interface.open_vc(
+            address=address, peak_rate_bps=call.peak_rate_bps
+        )
+        call.address = address
+        call.state = CallState.ACTIVE
+        call.connected.trigger(address)
+
+    def _on_release(self, message: SignallingMessage) -> None:
+        call = self._calls.pop(message.call_ref, None)
+        if call is not None and call.address is not None:
+            self.interface.close_vc(call.address)
+        self._send(
+            SignallingMessage(MessageType.RELEASE_COMPLETE, message.call_ref)
+        )
+
+    def _on_release_complete(self, message: SignallingMessage) -> None:
+        call = self._calls.pop(message.call_ref, None)
+        if call is None:
+            return
+        if call.state is CallState.CALL_INITIATED:
+            # Refusal: the far end answered SETUP with RELEASE_COMPLETE.
+            call.connected.fail(CallRefused(call.call_ref))
+            return
+        if call.address is not None:
+            self.interface.close_vc(call.address)
+        if call.released is not None and not call.released.triggered:
+            call.released.trigger(None)
+
+
+class CallRefused(Exception):
+    """The callee's admission policy rejected the SETUP."""

@@ -1,0 +1,35 @@
+"""Baseline architectures the paper's design is judged against.
+
+- :mod:`repro.baselines.host_sar` -- segmentation and reassembly in host
+  software over a dumb cell-FIFO adaptor: the *status quo ante* that
+  motivates offload (per-cell interrupts, per-byte CRC on the host CPU).
+- :mod:`repro.baselines.hardwired` -- a fully hardwired VLSI SAR: the
+  fast-but-frozen alternative the paper argues against on flexibility
+  grounds; here it quantifies the performance ceiling.
+- :mod:`repro.baselines.shared_proc` -- a single protocol processor
+  serving both directions, the cheaper design point whose contention
+  shows why the paper uses one engine per direction.
+"""
+
+from repro.baselines.hardwired import (
+    HARDWIRED_RX_COSTS,
+    HARDWIRED_TX_COSTS,
+    hardwired_config,
+)
+from repro.baselines.host_sar import (
+    HostSarConfig,
+    HostSarCostModel,
+    HostSarInterface,
+)
+from repro.baselines.shared_proc import SharedEngineClock, share_engine
+
+__all__ = [
+    "HARDWIRED_RX_COSTS",
+    "HARDWIRED_TX_COSTS",
+    "HostSarConfig",
+    "HostSarCostModel",
+    "HostSarInterface",
+    "SharedEngineClock",
+    "hardwired_config",
+    "share_engine",
+]

@@ -1,0 +1,64 @@
+"""Baseline (b): fully hardwired VLSI segmentation and reassembly.
+
+The alternative the paper weighs programmability against: dedicated
+state machines that do the per-cell work in a couple of clocks.  We
+model it by reusing the *entire* offloaded pipeline with near-zero
+cycle budgets -- so any measured difference against the programmable
+interface is purely the engine budgets, never plumbing differences.
+
+Hardwired logic is fast but frozen: it cannot track an evolving
+adaptation-layer standard (the paper's key argument in 1991, when the
+AALs were still in committee).  That trade-off is qualitative; the
+quantitative side -- the ceiling hardware sets -- is experiment T5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.atm.link import LinkSpec, STS12C_622
+from repro.nic.config import NicConfig
+from repro.nic.costs import EngineSpec, RxCostModel, TxCostModel
+
+#: One state-machine transition per operation; per-PDU work is a short
+#: microcode sequence.  Clocked at the cell clock domain (40 MHz class).
+HARDWIRED_TX_COSTS = TxCostModel(
+    descriptor_fetch=4,
+    dma_setup=4,
+    header_template_load=1,
+    completion_writeback=4,
+    cell_build=1,
+    buffer_advance=1,
+    fifo_push=1,
+    crc_per_cell=0,
+    trailer_build=2,
+)
+
+HARDWIRED_RX_COSTS = RxCostModel(
+    fifo_pop=1,
+    header_parse=1,
+    vci_lookup_cam=1,
+    vci_lookup_software=1,
+    vci_lookup_software_per_entry=0.0,
+    context_update=1,
+    payload_store=1,
+    crc_per_cell=0,
+    context_open=4,
+    final_check=2,
+    completion=6,
+)
+
+HARDWIRED_CLOCK = EngineSpec("hardwired-40MHz", 40e6)
+
+
+def hardwired_config(link: LinkSpec = STS12C_622, base: NicConfig | None = None) -> NicConfig:
+    """A NicConfig whose 'engines' are dedicated hardware."""
+    config = base if base is not None else NicConfig()
+    return replace(
+        config,
+        link=link,
+        tx_engine=HARDWIRED_CLOCK,
+        rx_engine=HARDWIRED_CLOCK,
+        tx_costs=HARDWIRED_TX_COSTS,
+        rx_costs=HARDWIRED_RX_COSTS,
+    )

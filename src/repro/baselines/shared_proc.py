@@ -1,0 +1,74 @@
+"""Baseline (c): a single protocol processor shared by both directions.
+
+Halving the part count is tempting, but transmit and receive then
+contend for the same instruction stream.  Under bidirectional load the
+shared engine's effective per-direction rate halves and -- worse --
+receive work queues behind transmit bursts, turning engine contention
+into receive-FIFO overflow (cells lost), which the dual-engine design
+never exhibits.  Experiment T5 quantifies this.
+
+Implementation: a :class:`SharedEngineClock` serialises ``work`` calls
+through a capacity-1 resource; :func:`share_engine` rebinds both of an
+interface's pipelines onto one such clock.
+"""
+
+from __future__ import annotations
+
+from repro.nic.costs import EngineSpec
+from repro.nic.engine import EngineClock
+from repro.nic.nic import HostNetworkInterface
+from repro.sim.core import Simulator
+from repro.sim.process import Process
+from repro.sim.resources import Resource
+
+
+class SharedEngineClock(EngineClock):
+    """An engine clock whose callers contend for one instruction stream.
+
+    ``work`` returns a process event: acquire the engine, run the
+    cycles, release.  Program order within each pipeline still holds;
+    across pipelines the arbitration is FIFO.
+    """
+
+    def __init__(self, sim: Simulator, spec: EngineSpec, name: str = "shared-engine"):
+        super().__init__(sim, spec, name)
+        self._stream = Resource(sim, capacity=1, name=f"{name}.stream")
+
+    def work(self, cycles: float, tag: str = "work") -> Process:
+        if cycles < 0:
+            raise ValueError("negative cycle count")
+        return self.sim.process(self._contended(cycles, tag))
+
+    def _contended(self, cycles: float, tag: str):
+        grant = self._stream.request()
+        yield grant
+        duration = self.spec.seconds_for(cycles)
+        self._busy_time += duration
+        self.cycles_by_tag[tag] = self.cycles_by_tag.get(tag, 0.0) + cycles
+        yield self.sim.timeout(duration)
+        self._stream.release(grant)
+
+    @property
+    def contention_wait(self) -> float:
+        """Mean time work items queued for the shared stream."""
+        return self._stream.mean_wait
+
+
+def share_engine(
+    nic: HostNetworkInterface, spec: EngineSpec | None = None
+) -> SharedEngineClock:
+    """Rebind *nic*'s TX and RX pipelines onto one shared engine.
+
+    Must be called before the interface starts.  Returns the shared
+    clock for inspection.  The engine spec defaults to the interface's
+    TX engine spec.
+    """
+    engine_spec = spec if spec is not None else nic.config.tx_engine
+    shared = SharedEngineClock(
+        nic.sim, engine_spec, name=f"{nic.name}.shared-engine"
+    )
+    nic.tx_clock = shared
+    nic.rx_clock = shared
+    nic.tx_engine.clock = shared
+    nic.rx_engine.clock = shared
+    return shared

@@ -1,0 +1,69 @@
+"""Command-line entry point: regenerate evaluation tables and figures.
+
+Usage::
+
+    python -m repro --list
+    python -m repro T1 F2 F3
+    python -m repro --all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.results.experiments import EXPERIMENTS, run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-atm",
+        description=(
+            "Reproduction harness for 'A Host-Network Interface "
+            "Architecture for ATM' (SIGCOMM '91)"
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="ID",
+        help="experiment ids to run (T1 T2 F2 ... F8)",
+    )
+    parser.add_argument(
+        "--all", action="store_true", help="run every experiment"
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment ids and exit"
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for experiment_id, runner in EXPERIMENTS.items():
+            doc = (runner.__doc__ or "").strip().splitlines()[0]
+            print(f"{experiment_id:4s} {doc}")
+        return 0
+    ids = list(EXPERIMENTS) if args.all else [e.upper() for e in args.experiments]
+    if not ids:
+        build_parser().print_help()
+        return 2
+    for experiment_id in ids:
+        started = time.perf_counter()
+        try:
+            result = run_experiment(experiment_id)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        elapsed = time.perf_counter() - started
+        print(result.to_text())
+        print(f"  [{experiment_id} completed in {elapsed:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

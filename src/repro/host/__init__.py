@@ -1,0 +1,36 @@
+"""The workstation side: CPU, memory, system bus, DMA, interrupts, OS.
+
+This models a 1991 TURBOchannel-class workstation (DECstation 5000
+family): a ~25 MHz scalar RISC CPU, a 32-bit 25 MHz I/O bus with burst
+DMA (100 MB/s peak), and an operating system whose syscall, copy and
+interrupt costs are charged in CPU cycles.
+
+The central accounting quantity is **host CPU cycles per delivered
+PDU/byte** -- the resource the paper's offload architecture exists to
+save.  Experiment T3/T5 read it straight off :class:`HostCpu`.
+"""
+
+from repro.host.bus import BusSpec, SystemBus, TURBOCHANNEL
+from repro.host.cpu import CpuSpec, HostCpu, R3000_25MHZ
+from repro.host.dma import DmaEngine, DmaSpec
+from repro.host.interrupts import InterruptController, InterruptSpec
+from repro.host.memory import Buffer, BufferPool, HostMemory
+from repro.host.os_model import HostOs, OsCostModel
+
+__all__ = [
+    "Buffer",
+    "BufferPool",
+    "BusSpec",
+    "CpuSpec",
+    "DmaEngine",
+    "DmaSpec",
+    "HostCpu",
+    "HostMemory",
+    "HostOs",
+    "InterruptController",
+    "InterruptSpec",
+    "OsCostModel",
+    "R3000_25MHZ",
+    "SystemBus",
+    "TURBOCHANNEL",
+]

@@ -1,0 +1,71 @@
+"""The paper's contribution: the offloaded ATM host-network interface.
+
+The architecture, reconstructed from the SIGCOMM '91 design:
+
+- the host posts whole PDUs through descriptor rings; it never sees a
+  cell (:mod:`repro.nic.descriptors`);
+- a programmable **transmit engine** fetches each PDU by DMA, segments
+  it, and streams cells into a link-side FIFO (:mod:`repro.nic.tx`);
+- a programmable **receive engine** pops arriving cells from its FIFO,
+  steers them by a CAM-assisted VCI lookup into per-VC reassembly
+  state, and DMAs completed PDUs to host buffers, interrupting once per
+  PDU (:mod:`repro.nic.rx`);
+- hardware assists do the per-byte work: CRC units, cell FIFOs
+  (:mod:`repro.nic.fifo`), the CAM (:mod:`repro.nic.cam`) and the
+  dual-port adaptor buffer memory (:mod:`repro.nic.bufmem`).
+
+Every engine operation carries a cycle budget from
+:mod:`repro.nic.costs` -- the same instruction-level quantities the
+paper's evaluation is built from -- so throughput and latency emerge
+from the budgets rather than being asserted.
+"""
+
+from repro.nic.bufmem import AdaptorBufferMemory, BufferMemorySpec
+from repro.nic.cam import Cam
+from repro.nic.config import (
+    NicConfig,
+    aurora_oc3,
+    aurora_oc12,
+    taxi_lan,
+)
+from repro.nic.costs import (
+    CellPosition,
+    EngineSpec,
+    I960_16MHZ,
+    I960_25MHZ,
+    I960_33MHZ,
+    RxCostModel,
+    TxCostModel,
+)
+from repro.nic.descriptors import RxCompletion, TxDescriptor
+from repro.nic.engine import EngineClock
+from repro.nic.fifo import CellFifo
+from repro.nic.nic import HostNetworkInterface, NicStats, connect
+from repro.nic.sarglue import Aal5Glue, Aal34Glue, glue_for
+
+__all__ = [
+    "Aal34Glue",
+    "Aal5Glue",
+    "AdaptorBufferMemory",
+    "BufferMemorySpec",
+    "Cam",
+    "CellFifo",
+    "CellPosition",
+    "EngineClock",
+    "EngineSpec",
+    "HostNetworkInterface",
+    "I960_16MHZ",
+    "I960_25MHZ",
+    "I960_33MHZ",
+    "NicConfig",
+    "NicStats",
+    "RxCompletion",
+    "RxCostModel",
+    "TxCostModel",
+    "TxDescriptor",
+    "aurora_oc12",
+    "aurora_oc3",
+    "connect",
+    "glue_for",
+    "taxi_lan",
+]

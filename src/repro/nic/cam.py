@@ -1,0 +1,73 @@
+"""Content-addressable memory for VCI-to-context steering.
+
+The receive engine must map each arriving cell's (VPI, VCI) to its
+reassembly context in a handful of cycles.  A CAM does the match in
+hardware; the alternative -- a software hash probe on the engine -- is
+an order of magnitude more cycles and is modelled through the cost
+model's ``vci_lookup_software`` budget (the CAM-less ablation).
+
+Functionally the CAM is an associative table of bounded size; the
+bound matters because it caps the number of *simultaneously open* VCs
+the receive path can serve at full rate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Hashable, Optional, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+class CamFullError(RuntimeError):
+    """No free CAM entry for a new key."""
+
+
+class Cam(Generic[K, V]):
+    """A fixed-capacity associative lookup table."""
+
+    def __init__(self, capacity: int, name: str = "cam") -> None:
+        if capacity < 1:
+            raise ValueError("CAM capacity must be >= 1")
+        self.capacity = capacity
+        self.name = name
+        self._entries: Dict[K, V] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._entries
+
+    @property
+    def free_entries(self) -> int:
+        return self.capacity - len(self._entries)
+
+    def install(self, key: K, value: V) -> None:
+        """Program an entry; raises :class:`CamFullError` when full."""
+        if key not in self._entries and len(self._entries) >= self.capacity:
+            raise CamFullError(
+                f"{self.name}: no free entry for {key!r} "
+                f"(capacity {self.capacity})"
+            )
+        self._entries[key] = value
+
+    def remove(self, key: K) -> Optional[V]:
+        """Invalidate an entry; returns its value or None."""
+        return self._entries.pop(key, None)
+
+    def lookup(self, key: K) -> Optional[V]:
+        """Associative match; None on miss (cell for an unknown VC)."""
+        value = self._entries.get(key)
+        if value is None and key not in self._entries:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

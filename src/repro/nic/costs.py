@@ -1,0 +1,253 @@
+"""Cycle budgets for the protocol engines -- the paper's analysis method.
+
+The original evaluation budgets the segmentation and reassembly inner
+loops in processor instructions (assembly-level estimates for an
+80960-class RISC microcontroller) and derives per-cell service times
+from the engine clock.  These dataclasses carry exactly those budgets.
+
+The default numbers are reconstructions calibrated to reproduce the
+published *shapes* (see DESIGN.md §3): a 25 MHz engine clears the
+2.83 us cell slot of STS-3c with wide margin in both directions,
+transmit just clears the 0.71 us slot of STS-12c, and receive -- the
+costlier direction, because of VCI lookup and reassembly state -- does
+not, which is what pushed the era's designs toward per-cell hardware
+assists for OC-12c.
+
+All values are in engine clock cycles.  Everything is data: ablations
+copy a model with :func:`dataclasses.replace` and mutate one field.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Dict
+
+
+class CellPosition(enum.Enum):
+    """Where a cell sits in its PDU; budgets differ by position."""
+
+    FIRST = "first"
+    MIDDLE = "middle"
+    LAST = "last"
+    ONLY = "only"  #: single-cell PDU: both first- and last-cell work
+
+    @classmethod
+    def of(cls, index: int, total: int) -> "CellPosition":
+        """Position of cell *index* (0-based) in a *total*-cell PDU."""
+        if total < 1:
+            raise ValueError("PDU must have at least one cell")
+        if not 0 <= index < total:
+            raise ValueError(f"cell index {index} outside 0..{total - 1}")
+        if total == 1:
+            return cls.ONLY
+        if index == 0:
+            return cls.FIRST
+        if index == total - 1:
+            return cls.LAST
+        return cls.MIDDLE
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """A protocol engine: a clocked RISC microcontroller."""
+
+    name: str
+    clock_hz: float
+
+    def __post_init__(self) -> None:
+        if self.clock_hz <= 0:
+            raise ValueError("engine clock must be positive")
+
+    @property
+    def cycle_time(self) -> float:
+        return 1.0 / self.clock_hz
+
+    def seconds_for(self, cycles: float) -> float:
+        if cycles < 0:
+            raise ValueError("negative cycle count")
+        return cycles / self.clock_hz
+
+    def at_clock(self, clock_hz: float) -> "EngineSpec":
+        """The same engine at a different clock (for the F7 sweep)."""
+        return EngineSpec(f"{self.name.split('-')[0]}-{clock_hz / 1e6:g}MHz", clock_hz)
+
+
+I960_16MHZ = EngineSpec("i960-16MHz", 16e6)
+I960_25MHZ = EngineSpec("i960-25MHz", 25e6)
+I960_33MHZ = EngineSpec("i960-33MHz", 33e6)
+
+
+@dataclass(frozen=True)
+class TxCostModel:
+    """Segmentation-path cycle budget (per the paper's TX inner loop).
+
+    Per-PDU work happens once regardless of size; per-cell work repeats
+    for every cell.  CRC generation is a hardware assist by default
+    (``crc_per_cell = 0``); setting it non-zero models doing the CRC in
+    engine software, one of the ablations.
+    """
+
+    # -- once per PDU -----------------------------------------------------
+    descriptor_fetch: int = 30  #: read + parse the host's TX descriptor
+    dma_setup: int = 20  #: program the host-memory fetch of the PDU
+    header_template_load: int = 10  #: fetch the VC's cell-header template
+    completion_writeback: int = 25  #: status writeback to the host ring
+    # -- once per cell ----------------------------------------------------
+    cell_build: int = 8  #: write header word(s), update length count
+    buffer_advance: int = 5  #: advance the PDU read pointer
+    fifo_push: int = 3  #: hand the cell to the link-side FIFO
+    crc_per_cell: int = 0  #: CRC accumulate (0 = hardware assist)
+    # -- once on the final cell -------------------------------------------
+    trailer_build: int = 20  #: assemble pad + AAL trailer fields
+
+    def __post_init__(self) -> None:
+        for name, value in self.breakdown().items():
+            if value < 0:
+                raise ValueError(f"negative cycle budget for {name}")
+
+    def pdu_cycles(self) -> int:
+        """Fixed per-PDU overhead, excluding any per-cell work."""
+        return (
+            self.descriptor_fetch
+            + self.dma_setup
+            + self.header_template_load
+            + self.completion_writeback
+        )
+
+    def cell_cycles(self, position: CellPosition) -> int:
+        """Engine cycles to emit one cell at *position*."""
+        cycles = (
+            self.cell_build + self.buffer_advance + self.fifo_push + self.crc_per_cell
+        )
+        if position in (CellPosition.LAST, CellPosition.ONLY):
+            cycles += self.trailer_build
+        return cycles
+
+    def pdu_total_cycles(self, n_cells: int) -> int:
+        """Whole-PDU engine cost for an *n_cells*-cell PDU."""
+        if n_cells < 1:
+            raise ValueError("PDU must have at least one cell")
+        total = self.pdu_cycles()
+        for i in range(n_cells):
+            total += self.cell_cycles(CellPosition.of(i, n_cells))
+        return total
+
+    def breakdown(self) -> Dict[str, int]:
+        """Per-operation budget for the T1 table."""
+        return {
+            "descriptor_fetch": self.descriptor_fetch,
+            "dma_setup": self.dma_setup,
+            "header_template_load": self.header_template_load,
+            "completion_writeback": self.completion_writeback,
+            "cell_build": self.cell_build,
+            "buffer_advance": self.buffer_advance,
+            "fifo_push": self.fifo_push,
+            "crc_per_cell": self.crc_per_cell,
+            "trailer_build": self.trailer_build,
+        }
+
+    def with_software_crc(self, cycles_per_cell: int = 130) -> "TxCostModel":
+        """Ablation: CRC done by the engine instead of hardware."""
+        return replace(self, crc_per_cell=cycles_per_cell)
+
+
+@dataclass(frozen=True)
+class RxCostModel:
+    """Reassembly-path cycle budget (per the paper's RX inner loop).
+
+    Receive is inherently costlier than transmit: every cell must be
+    classified (VCI lookup) and threaded into per-VC reassembly state.
+    With the CAM assist the lookup is a couple of cycles of handshake;
+    without it the engine searches a software table.
+    """
+
+    # -- once per cell ------------------------------------------------------
+    fifo_pop: int = 3  #: take the next cell from the link-side FIFO
+    header_parse: int = 4  #: extract VPI/VCI/PTI
+    vci_lookup_cam: int = 2  #: CAM handshake to the reassembly context
+    vci_lookup_software: int = 28  #: software table probe when no CAM fitted
+    #: Additional software-probe cycles per installed VC (the probe's
+    #: collision-chain walk grows with the table); the CAM pays nothing.
+    vci_lookup_software_per_entry: float = 0.5
+    context_update: int = 7  #: fetch/advance reassembly state
+    payload_store: int = 6  #: buffer pointer update, schedule the write
+    crc_per_cell: int = 0  #: CRC accumulate (0 = hardware assist)
+    #: Management cells (OAM): recognise the PTI, hand to the OAM unit.
+    oam_handling: int = 10
+    # -- once per PDU ---------------------------------------------------------
+    context_open: int = 35  #: first cell: allocate buffer, init state
+    final_check: int = 18  #: last cell: trailer length/CRC verdict
+    completion: int = 45  #: completion descriptor, DMA post, interrupt
+
+    def __post_init__(self) -> None:
+        for name, value in self.breakdown().items():
+            if value < 0:
+                raise ValueError(f"negative cycle budget for {name}")
+
+    def lookup_cycles(self, cam_fitted: bool, table_size: int = 0) -> float:
+        """VCI classification cost given the assist and the table size."""
+        if cam_fitted:
+            return self.vci_lookup_cam
+        return (
+            self.vci_lookup_software
+            + self.vci_lookup_software_per_entry * max(0, table_size)
+        )
+
+    def cell_cycles(
+        self,
+        position: CellPosition,
+        cam_fitted: bool = True,
+        table_size: int = 0,
+    ) -> float:
+        """Engine cycles to absorb one cell at *position*."""
+        lookup = self.lookup_cycles(cam_fitted, table_size)
+        cycles = (
+            self.fifo_pop
+            + self.header_parse
+            + lookup
+            + self.context_update
+            + self.payload_store
+            + self.crc_per_cell
+        )
+        if position in (CellPosition.FIRST, CellPosition.ONLY):
+            cycles += self.context_open
+        if position in (CellPosition.LAST, CellPosition.ONLY):
+            cycles += self.final_check + self.completion
+        return cycles
+
+    def pdu_cycles(self) -> int:
+        """Fixed per-PDU overhead (first-cell open + last-cell close)."""
+        return self.context_open + self.final_check + self.completion
+
+    def pdu_total_cycles(
+        self, n_cells: int, cam_fitted: bool = True, table_size: int = 0
+    ) -> float:
+        """Whole-PDU engine cost for an *n_cells*-cell PDU."""
+        if n_cells < 1:
+            raise ValueError("PDU must have at least one cell")
+        return sum(
+            self.cell_cycles(CellPosition.of(i, n_cells), cam_fitted, table_size)
+            for i in range(n_cells)
+        )
+
+    def breakdown(self) -> Dict[str, int]:
+        """Per-operation budget for the T2 table."""
+        return {
+            "fifo_pop": self.fifo_pop,
+            "header_parse": self.header_parse,
+            "vci_lookup_cam": self.vci_lookup_cam,
+            "vci_lookup_software": self.vci_lookup_software,
+            "vci_lookup_software_per_entry": self.vci_lookup_software_per_entry,
+            "context_update": self.context_update,
+            "payload_store": self.payload_store,
+            "crc_per_cell": self.crc_per_cell,
+            "oam_handling": self.oam_handling,
+            "context_open": self.context_open,
+            "final_check": self.final_check,
+            "completion": self.completion,
+        }
+
+    def with_software_crc(self, cycles_per_cell: int = 130) -> "RxCostModel":
+        """Ablation: CRC done by the engine instead of hardware."""
+        return replace(self, crc_per_cell=cycles_per_cell)

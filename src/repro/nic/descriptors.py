@@ -1,0 +1,111 @@
+"""Descriptor rings: the host/adaptor contract.
+
+The host and the adaptor communicate through two rings in host memory:
+
+- the **transmit ring** of :class:`TxDescriptor` -- "here is a PDU,
+  send it on this VC";
+- the **completion ring** of :class:`RxCompletion` -- "a PDU for this
+  VC has landed in that buffer".
+
+Ring depth bounds how far the host can run ahead of the adaptor (and
+vice versa); a full TX ring back-pressures the sender, which is the
+flow-control boundary of the whole architecture.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.atm.addressing import VcAddress
+from repro.host.memory import Buffer
+from repro.sim.core import Event, Simulator
+from repro.sim.resources import Store
+
+_pdu_ids = itertools.count(1)
+
+
+@dataclass
+class TxDescriptor:
+    """One host-posted transmit request."""
+
+    vc: VcAddress
+    sdu: bytes
+    posted_at: float
+    pdu_id: int = field(default_factory=lambda: next(_pdu_ids))
+    #: AAL5 CPCS-UU byte passed through to the far end.
+    user_indication: int = 0
+
+    @property
+    def size(self) -> int:
+        return len(self.sdu)
+
+
+@dataclass
+class RxCompletion:
+    """One adaptor-posted receive completion."""
+
+    vc: VcAddress
+    sdu: bytes
+    buffer: Optional[Buffer]
+    received_at: float  #: when the final cell's processing finished
+    delivered_at: float  #: when the host buffer held the full PDU
+    cells: int
+    user_indication: int = 0
+    #: When the sender posted the PDU (carried in cell metadata); lets
+    #: experiments compute end-to-end latency without a side channel.
+    posted_at: Optional[float] = None
+
+    @property
+    def size(self) -> int:
+        return len(self.sdu)
+
+    @property
+    def end_to_end_latency(self) -> Optional[float]:
+        if self.posted_at is None:
+            return None
+        return self.delivered_at - self.posted_at
+
+
+class DescriptorRing:
+    """A bounded FIFO ring of descriptors between host and adaptor.
+
+    ``post`` blocks (event) when the ring is full -- exactly the
+    producer/consumer behaviour of a hardware ring with a full bit.
+    """
+
+    def __init__(self, sim: Simulator, depth: int, name: str = "ring") -> None:
+        if depth < 1:
+            raise ValueError("ring depth must be >= 1")
+        self.sim = sim
+        self.depth = depth
+        self.name = name
+        self._store = Store(sim, capacity=depth, name=name)
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    @property
+    def is_full(self) -> bool:
+        return self._store.is_full
+
+    def post(self, descriptor) -> Event:
+        """Producer side; the event fires when the ring accepted it."""
+        return self._store.put(descriptor)
+
+    def try_post(self, descriptor) -> bool:
+        """Non-blocking post; False when the ring is full."""
+        return self._store.try_put(descriptor)
+
+    def take(self) -> Event:
+        """Consumer side; the event fires with the next descriptor."""
+        return self._store.get()
+
+    @property
+    def total_posted(self) -> int:
+        return self._store.total_put
+
+    @property
+    def peak_depth(self) -> int:
+        return self._store.peak_occupancy

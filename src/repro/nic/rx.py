@@ -1,0 +1,243 @@
+"""The receive pipeline: FIFO -> classify -> reassemble -> DMA -> host.
+
+The costlier direction, and the paper's bottleneck.  Per arriving cell
+the engine must: pop the FIFO, parse the header, find the reassembly
+context (CAM handshake or software probe), update per-VC state, and
+steer the payload into adaptor buffer memory.  First cells additionally
+open a context and claim a buffer; last cells run the trailer check and
+the completion path (descriptor, DMA to a host buffer, interrupt).
+
+Loss behaviour is faithful to the hardware:
+
+- a full receive FIFO **drops cells** (the network does not wait);
+- a cell for an unopened VC is counted and discarded;
+- adaptor buffer exhaustion drops the cell (the PDU then fails its
+  CRC/length check -- same as network loss);
+- host buffer-pool exhaustion drops the completed PDU.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.aal.interface import ReassemblyFailure, SduIndication
+from repro.atm.addressing import VcAddress
+from repro.atm.cell import PAYLOAD_SIZE, AtmCell
+from repro.atm.vc import VcTable
+from repro.host.dma import DmaEngine
+from repro.host.memory import BufferPool
+from repro.nic.bufmem import AdaptorBufferMemory
+from repro.nic.cam import Cam
+from repro.nic.costs import CellPosition, RxCostModel
+from repro.nic.descriptors import RxCompletion
+from repro.nic.engine import EngineClock
+from repro.nic.fifo import CellFifo
+from repro.nic.sarglue import Aal5Glue, SarGlue
+from repro.sim.core import Simulator
+from repro.sim.monitor import Counter, ThroughputMeter, WelfordStat
+
+
+class RxEngine:
+    """The programmable reassembly engine."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        clock: EngineClock,
+        costs: RxCostModel,
+        fifo: CellFifo,
+        vc_table: VcTable,
+        dma: DmaEngine,
+        bufmem: AdaptorBufferMemory,
+        buffer_pool: BufferPool,
+        cam: Optional[Cam] = None,
+        glue: Optional[SarGlue] = None,
+        name: str = "rx",
+    ) -> None:
+        self.sim = sim
+        self.clock = clock
+        self.costs = costs
+        self.fifo = fifo
+        self.vc_table = vc_table
+        self.dma = dma
+        self.bufmem = bufmem
+        self.buffer_pool = buffer_pool
+        self.cam = cam
+        self.glue = glue if glue is not None else Aal5Glue()
+        self.name = name
+        self.reassembler = self.glue.make_reassembler()
+        #: Called with each RxCompletion once the PDU sits in host memory.
+        self.on_completion: Optional[Callable[[RxCompletion], None]] = None
+        #: Called with the VC address whenever a partial PDU makes
+        #: progress; the owner uses it to (re)arm reassembly timers.
+        self.on_context_activity: Optional[Callable[[VcAddress], None]] = None
+        #: Called with each management (OAM) cell; the owner implements
+        #: the loopback function.
+        self.on_oam: Optional[Callable[[AtmCell], None]] = None
+        self.cells_received = Counter(f"{name}.cells")
+        self.oam_cells = Counter(f"{name}.oam-cells")
+        self.cells_unknown_vc = Counter(f"{name}.unknown-vc")
+        self.cells_no_buffer = Counter(f"{name}.no-adaptor-buffer")
+        self.pdus_delivered = Counter(f"{name}.pdus")
+        self.pdus_no_host_buffer = Counter(f"{name}.no-host-buffer")
+        self.throughput = ThroughputMeter(sim)
+        #: Last-cell arrival to host-memory delivery, per PDU.
+        self.completion_latency = WelfordStat()
+        self._process = None
+
+    @property
+    def cam_fitted(self) -> bool:
+        return self.cam is not None
+
+    # -- link side -------------------------------------------------------------
+
+    def receive_cell(self, cell: AtmCell) -> None:
+        """Cell sink for the incoming link; full FIFO drops the cell."""
+        self.fifo.try_put(cell)
+
+    # -- engine loop -------------------------------------------------------------
+
+    def start(self) -> None:
+        """Launch the firmware loop (idempotent)."""
+        if self._process is None:
+            self._process = self.sim.process(self._loop())
+
+    def _position_of(self, vc: VcAddress, cell: AtmCell) -> CellPosition:
+        """Classify the cell by reassembly state + EOF mark.
+
+        The engine knows this from its context table before touching the
+        payload: no open context means a first (or only) cell.
+        """
+        open_context = self.glue.has_context(self.reassembler, vc)
+        if self.glue.is_eof(cell):
+            return CellPosition.LAST if open_context else CellPosition.ONLY
+        return CellPosition.MIDDLE if open_context else CellPosition.FIRST
+
+    def _loop(self):
+        costs = self.costs
+        while True:
+            cell: AtmCell = yield self.fifo.get()
+            self.cells_received.increment()
+            vc = VcAddress(cell.vpi, cell.vci)
+
+            # Management cells peel off before classification: the OAM
+            # unit (hardware-assisted) handles them so the host never
+            # sees a cell.
+            if not cell.is_user_cell:
+                yield self.clock.work(
+                    costs.fifo_pop + costs.header_parse + costs.oam_handling,
+                    tag="rx-oam",
+                )
+                self.oam_cells.increment()
+                if self.on_oam is not None:
+                    self.on_oam(cell)
+                continue
+
+            # Classification: CAM handshake (or software probe) resolves
+            # the VC.  A miss is a cell for a connection we never opened.
+            table_size = len(self.vc_table)
+            if self.cam is not None:
+                known = self.cam.lookup(vc) is not None
+            else:
+                known = self.vc_table.lookup(vc) is not None
+            if not known:
+                yield self.clock.work(
+                    costs.fifo_pop
+                    + costs.header_parse
+                    + costs.lookup_cycles(self.cam_fitted, table_size),
+                    tag="rx-unknown-vc",
+                )
+                self.cells_unknown_vc.increment()
+                continue
+
+            position = self._position_of(vc, cell)
+            yield self.clock.work(
+                costs.cell_cycles(position, self.cam_fitted, table_size)
+                + self.glue.rx_extra_cycles,
+                tag="rx-cell",
+            )
+
+            # Payload into adaptor buffer memory; exhaustion loses the
+            # cell exactly like network loss would.
+            if not self.bufmem.grow(("rx", vc), 1):
+                self.cells_no_buffer.increment()
+                continue
+            self.bufmem.record_write(PAYLOAD_SIZE)
+
+            indication = self.reassembler.receive_cell(cell, now=self.sim.now)
+            if indication is None:
+                if self.glue.has_context(self.reassembler, vc):
+                    if self.on_context_activity is not None:
+                        self.on_context_activity(vc)
+                else:
+                    # The reassembler closed the context with a failure
+                    # verdict (CRC/length/oversize): reclaim the buffer.
+                    self.bufmem.release(("rx", vc))
+                continue
+            self._complete(vc, cell, indication)
+
+    def _complete(
+        self, vc: VcAddress, last_cell: AtmCell, indication: SduIndication
+    ) -> None:
+        """Last-cell epilogue: claim a host buffer and post the DMA.
+
+        The engine only *posts* the transfer (those cycles are in the
+        last-cell budget) -- the DMA machine moves the bytes while the
+        engine turns to the next arriving cell.  Stalling the engine for
+        the whole PDU DMA would leave the receive FIFO uncovered for
+        tens of cell slots per completion, which is exactly the overrun
+        the architecture's separate DMA hardware exists to prevent.
+        """
+        arrived = self.sim.now
+        self.bufmem.record_read(indication.size)
+        self.bufmem.release(("rx", vc))
+
+        host_buffer = self.buffer_pool.allocate(owner=str(vc))
+        if host_buffer is None or host_buffer.capacity < indication.size:
+            if host_buffer is not None:
+                self.buffer_pool.release(host_buffer)
+            self.pdus_no_host_buffer.increment()
+            return
+        self.sim.process(
+            self._dma_and_deliver(vc, last_cell, indication, host_buffer, arrived)
+        )
+
+    def _dma_and_deliver(
+        self,
+        vc: VcAddress,
+        last_cell: AtmCell,
+        indication: SduIndication,
+        host_buffer,
+        arrived: float,
+    ):
+        # The DMA channel is a capacity-1 resource, so back-to-back
+        # completions transfer strictly in order.
+        yield self.dma.transfer(indication.size)
+        host_buffer.write(indication.sdu)
+
+        completion = RxCompletion(
+            vc=vc,
+            sdu=indication.sdu,
+            buffer=host_buffer,
+            received_at=arrived,
+            delivered_at=self.sim.now,
+            cells=indication.cells,
+            user_indication=indication.user_indication,
+            posted_at=last_cell.meta.get("posted_at"),
+        )
+        self.pdus_delivered.increment()
+        self.throughput.account(indication.size)
+        self.completion_latency.add(self.sim.now - arrived)
+        if self.on_completion is not None:
+            self.on_completion(completion)
+
+    # -- hygiene ---------------------------------------------------------------
+
+    def expire_context(self, vc: VcAddress) -> bool:
+        """Reassembly-timeout hook: abort a stale partial PDU."""
+        aborted = self.glue.abort_context(
+            self.reassembler, vc, ReassemblyFailure.TIMEOUT
+        )
+        if aborted:
+            self.bufmem.release(("rx", vc))
+        return aborted

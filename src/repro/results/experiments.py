@@ -1,0 +1,1191 @@
+"""Runners that regenerate every table and figure of the evaluation.
+
+Each ``run_*`` function returns an :class:`ExperimentResult` holding the
+tables/series plus provenance notes.  Parameters default to the full
+paper-scale configuration; the benchmark suite passes smaller windows so
+the whole matrix stays fast under pytest-benchmark.
+
+Experiment ids follow DESIGN.md §3 (T = table, F = figure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.aal.aal5 import Aal5Segmenter, cells_for_sdu
+from repro.atm.addressing import VcAddress
+from repro.analysis.latency import latency_model
+from repro.analysis.sweep import Series
+from repro.analysis.throughput import (
+    end_to_end_throughput_model_mbps,
+    rx_saturation_mbps,
+    rx_throughput_model_mbps,
+    saturating_pdu_size,
+    tx_saturation_mbps,
+    tx_throughput_model_mbps,
+)
+from repro.host.interrupts import InterruptSpec
+from repro.host.os_model import OsCostModel
+from repro.analysis.utilization import (
+    host_cycles_per_pdu_hostsar,
+    host_cycles_per_pdu_offloaded,
+    offload_advantage,
+)
+from repro.atm.link import STS3C_155, STS12C_622, PhysicalLink
+from repro.baselines.hardwired import hardwired_config
+from repro.baselines.host_sar import HostSarConfig, HostSarInterface
+from repro.baselines.shared_proc import share_engine
+from repro.nic.config import NicConfig, aurora_oc3, aurora_oc12
+from repro.nic.costs import CellPosition
+from repro.nic.nic import HostNetworkInterface, connect
+from repro.results.tables import format_series, format_table
+from repro.sim.core import Simulator
+from repro.workloads.generators import (
+    GreedySource,
+    OnOffSource,
+    PoissonSource,
+    make_payload,
+)
+from repro.workloads.scenarios import InterleavedCellSource, build_point_to_point
+
+#: The PDU sizes every size sweep uses (bytes).
+DEFAULT_SIZES: Sequence[int] = (40, 64, 128, 256, 512, 1024, 2048, 4096, 9180, 16384, 32768, 65535)
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table or figure, ready to print or assert on."""
+
+    experiment_id: str
+    title: str
+    headers: List[str] = field(default_factory=list)
+    rows: List[List] = field(default_factory=list)
+    series: Optional[Series] = None
+    notes: List[str] = field(default_factory=list)
+    #: Scalars experiments expose for tests (knees, ratios, verdicts).
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+    def to_text(self) -> str:
+        parts = []
+        if self.series is not None:
+            parts.append(format_series(self.series, title=f"{self.experiment_id}: {self.title}"))
+        if self.rows:
+            parts.append(
+                format_table(self.headers, self.rows, title=f"{self.experiment_id}: {self.title}")
+            )
+        for note in self.notes:
+            parts.append(f"  note: {note}")
+        if self.metrics:
+            metric_text = ", ".join(
+                f"{k}={v:.4g}" for k, v in sorted(self.metrics.items())
+            )
+            parts.append(f"  metrics: {metric_text}")
+        return "\n".join(parts)
+
+
+def lab_host(config: NicConfig) -> NicConfig:
+    """A configuration with free host software, isolating the adaptor.
+
+    Zeroing OS and interrupt costs removes the host pipeline stages so
+    measurements characterise the interface itself -- the quantity the
+    paper's engine analysis predicts.
+    """
+    return replace(
+        config,
+        os_costs=OsCostModel(
+            syscall_cycles=0,
+            copy_cycles_per_byte=0.0,
+            buffer_mgmt_cycles=0,
+            wakeup_cycles=0,
+            driver_tx_cycles=0,
+            driver_rx_cycles=0,
+        ),
+        interrupt=InterruptSpec(entry_cycles=0, exit_cycles=0),
+    )
+
+
+def steady_goodput_mbps(received: Sequence) -> float:
+    """Goodput between the first and last delivery (ramp-up excluded)."""
+    if len(received) < 3:
+        return 0.0
+    span = received[-1].delivered_at - received[0].delivered_at
+    nbytes = sum(c.size for c in received[1:])
+    return (nbytes * 8 / span) / 1e6 if span > 0 else 0.0
+
+
+def windowed_goodput_mbps(received: Sequence, t_start: float, t_end: float) -> float:
+    """Goodput over [t_start, t_end) by delivery time (warmup excluded).
+
+    Robust when completions arrive in bursts (many VCs finishing PDUs
+    together), where first-to-last-delivery spans mismeasure.
+    """
+    if t_end <= t_start:
+        return 0.0
+    nbytes = sum(
+        c.size for c in received if t_start <= c.delivered_at < t_end
+    )
+    return (nbytes * 8 / (t_end - t_start)) / 1e6
+
+
+def _window_for(size: int, base: float, link) -> float:
+    """A measurement window long enough for ~40 PDUs of *size* bytes."""
+    pdu_time = cells_for_sdu(size) * link.cell_time
+    return max(base, 40 * pdu_time)
+
+
+# ---------------------------------------------------------------------------
+# T1 / T2: the engine cycle-budget tables
+# ---------------------------------------------------------------------------
+
+def run_t1(config: Optional[NicConfig] = None) -> ExperimentResult:
+    """T1: transmit-path per-operation cycle budget."""
+    config = config if config is not None else aurora_oc3()
+    costs = config.tx_costs
+    engine = config.tx_engine
+    rows = [
+        [name, cycles, engine.seconds_for(cycles) * 1e6]
+        for name, cycles in costs.breakdown().items()
+    ]
+    result = ExperimentResult(
+        experiment_id="T1",
+        title=f"TX segmentation budget on {engine.name}",
+        headers=["operation", "cycles", "time (us)"],
+        rows=rows,
+    )
+    for position in CellPosition:
+        cycles = costs.cell_cycles(position)
+        result.metrics[f"cell_{position.value}_us"] = (
+            engine.seconds_for(cycles) * 1e6
+        )
+    result.metrics["pdu_overhead_us"] = engine.seconds_for(costs.pdu_cycles()) * 1e6
+    result.metrics["cell_slot_us"] = config.link.cell_time * 1e6
+    result.notes.append(
+        f"link {config.link.name}: cell slot {config.link.cell_time * 1e6:.2f} us; "
+        f"middle-cell service {result.metrics['cell_middle_us']:.2f} us"
+    )
+    return result
+
+
+def run_t2(config: Optional[NicConfig] = None) -> ExperimentResult:
+    """T2: receive-path per-operation cycle budget (CAM and software)."""
+    config = config if config is not None else aurora_oc3()
+    costs = config.rx_costs
+    engine = config.rx_engine
+    rows = [
+        [name, cycles, engine.seconds_for(cycles) * 1e6]
+        for name, cycles in costs.breakdown().items()
+    ]
+    result = ExperimentResult(
+        experiment_id="T2",
+        title=f"RX reassembly budget on {engine.name}",
+        headers=["operation", "cycles", "time (us)"],
+        rows=rows,
+    )
+    for position in CellPosition:
+        for fitted, label in ((True, "cam"), (False, "sw")):
+            cycles = costs.cell_cycles(position, fitted)
+            result.metrics[f"cell_{position.value}_{label}_us"] = (
+                engine.seconds_for(cycles) * 1e6
+            )
+    result.metrics["cell_slot_us"] = config.link.cell_time * 1e6
+    result.notes.append(
+        "receive exceeds transmit per cell: classification plus "
+        "reassembly-state work has no transmit analogue"
+    )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# F2 / F3: throughput vs PDU size
+# ---------------------------------------------------------------------------
+
+def run_f2(
+    config: Optional[NicConfig] = None,
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    window: float = 0.05,
+) -> ExperimentResult:
+    """F2: transmit throughput vs PDU size (simulated + analytic)."""
+    config = config if config is not None else aurora_oc3()
+    isolated = lab_host(config)
+    series = Series(name="tx throughput", x_label="sdu_bytes")
+    for size in sizes:
+        run_window = _window_for(size, window, config.link)
+
+        # Interface capability: free host software.
+        sim = Simulator()
+        scenario = build_point_to_point(sim, isolated)
+        GreedySource(sim, scenario.sender, scenario.vc, size).start()
+        sim.run(until=run_window)
+        interface_mbps = steady_goodput_mbps(scenario.received)
+
+        # End to end: real host software in the pipeline.
+        sim2 = Simulator()
+        scenario2 = build_point_to_point(sim2, config)
+        GreedySource(sim2, scenario2.sender, scenario2.vc, size).start()
+        sim2.run(until=run_window)
+
+        series.add_point(
+            size,
+            interface_sim_mbps=interface_mbps,
+            interface_model_mbps=min(
+                tx_throughput_model_mbps(config, size),
+                rx_throughput_model_mbps(config, size),
+            ),
+            end_to_end_sim_mbps=steady_goodput_mbps(scenario2.received),
+            end_to_end_model_mbps=end_to_end_throughput_model_mbps(config, size),
+        )
+    result = ExperimentResult(
+        experiment_id="F2",
+        title=f"TX throughput vs PDU size ({config.link.name})",
+        series=series,
+    )
+    knee = saturating_pdu_size(config, "tx")
+    result.metrics["tx_knee_bytes"] = knee
+    result.metrics["tx_saturation_mbps"] = tx_saturation_mbps(config)
+    result.metrics["link_user_mbps"] = config.link.effective_user_rate_bps / 1e6
+    result.notes.append(
+        f"engine-limited below ~{knee} bytes, link-limited above"
+        if knee > 0
+        else "engine never reaches link rate at this clock"
+    )
+    return result
+
+
+def run_f3(
+    config: Optional[NicConfig] = None,
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    window: float = 0.05,
+) -> ExperimentResult:
+    """F3: receive throughput vs PDU size.
+
+    The receive path is isolated from transmit limits by feeding the
+    receive FIFO directly from a backlogged wire model: cells arrive at
+    link rate but never overrun (upstream buffering), so the measured
+    goodput is min(link, receive engine) -- the paper's sustainable-rate
+    quantity.
+    """
+    config = lab_host(config if config is not None else aurora_oc3())
+    series = Series(name="rx throughput", x_label="sdu_bytes")
+    for size in sizes:
+        run_window = _window_for(size, window, config.link)
+        sim = Simulator()
+        nic = HostNetworkInterface(sim, config, name="rxhost")
+        received = []
+        nic.on_pdu = received.append
+        vc = nic.open_vc(address=VcAddress(0, 100))
+        nic.start()
+        segmenter = Aal5Segmenter(vc.address)
+        payload = make_payload(size)
+
+        def feeder():
+            while True:
+                for cell in segmenter.segment(payload):
+                    yield sim.timeout(config.link.cell_time)
+                    yield nic.rx_fifo.put(cell)
+
+        sim.process(feeder())
+        sim.run(until=run_window)
+        series.add_point(
+            size,
+            simulated_mbps=steady_goodput_mbps(received),
+            model_mbps=rx_throughput_model_mbps(config, size),
+        )
+    result = ExperimentResult(
+        experiment_id="F3",
+        title=f"RX throughput vs PDU size ({config.link.name})",
+        series=series,
+    )
+    knee = saturating_pdu_size(config, "rx")
+    result.metrics["rx_knee_bytes"] = knee
+    result.metrics["rx_saturation_mbps"] = rx_saturation_mbps(config)
+    result.notes.append(
+        "receive has the larger per-cell budget (it, not transmit, is "
+        "engine-bound at STS-12c), but transmit's serial staging DMA "
+        "gives TX the larger per-PDU overhead and the rightmost knee"
+    )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# F4: latency decomposition
+# ---------------------------------------------------------------------------
+
+def run_f4(
+    config: Optional[NicConfig] = None,
+    sizes: Sequence[int] = (64, 1024, 9180, 65535),
+    propagation_delay: float = 0.0,
+) -> ExperimentResult:
+    """F4: unloaded end-to-end latency, modelled stages vs simulation."""
+    config = config if config is not None else aurora_oc3()
+    headers = ["sdu_bytes"]
+    rows: List[List] = []
+    first = True
+    measured_by_size: Dict[int, float] = {}
+    for size in sizes:
+        sim = Simulator()
+        scenario = build_point_to_point(
+            sim, config, propagation_delay=propagation_delay
+        )
+        # Time the full user-to-user path: from the send call on the
+        # sending host to the receive callback on the receiving host.
+        delivery_times: List[float] = []
+        scenario.receiver.on_pdu = lambda _c: delivery_times.append(sim.now)
+        post_time = sim.now
+        scenario.sender.post(scenario.vc, make_payload(size))
+        sim.run(until=1.0)
+        measured_by_size[size] = (
+            delivery_times[0] - post_time if delivery_times else float("nan")
+        )
+
+        breakdown = latency_model(config, size, propagation_delay)
+        stages = breakdown.as_dict()
+        if first:
+            headers += [f"{k} (us)" for k in stages] + [
+                "model total (us)",
+                "simulated (us)",
+            ]
+            first = False
+        rows.append(
+            [size]
+            + [v * 1e6 for v in stages.values()]
+            + [breakdown.total * 1e6, measured_by_size[size] * 1e6]
+        )
+    result = ExperimentResult(
+        experiment_id="F4",
+        title=f"Latency decomposition ({config.link.name})",
+        headers=headers,
+        rows=rows,
+    )
+    smallest, largest = min(sizes), max(sizes)
+    small_model = latency_model(config, smallest, propagation_delay)
+    result.metrics["small_pdu_dominant"] = float(
+        small_model.dominant_stage() != "link_serialization"
+    )
+    result.metrics[f"simulated_us_{smallest}"] = measured_by_size[smallest] * 1e6
+    result.metrics[f"simulated_us_{largest}"] = measured_by_size[largest] * 1e6
+    result.notes.append(
+        f"short-PDU latency dominated by '{small_model.dominant_stage()}', "
+        "not the wire"
+    )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# T3: host CPU cost, offloaded vs host-based SAR
+# ---------------------------------------------------------------------------
+
+def run_t3(
+    sizes: Sequence[int] = (64, 576, 1500, 9180, 65535),
+    pdus: int = 30,
+) -> ExperimentResult:
+    """T3: host cycles per received PDU -- the offload dividend."""
+    nic_config = aurora_oc3()
+    # Deep adaptor cell buffer: within a single large PDU, cells arrive
+    # faster than a per-cell-interrupt host absorbs them, so clean cost
+    # accounting needs the dumb adaptor's one luxury -- onboard RAM.
+    sar_config = HostSarConfig(rx_fifo_cells=4096)
+    headers = [
+        "sdu_bytes",
+        "offloaded model (cyc)",
+        "offloaded sim (cyc)",
+        "host-SAR model (cyc)",
+        "host-SAR sim (cyc)",
+        "advantage (x)",
+    ]
+    rows: List[List] = []
+    advantages = []
+    for size in sizes:
+        # Offloaded: measured host cycles per PDU end to end.
+        sim = Simulator()
+        scenario = build_point_to_point(sim, nic_config)
+        GreedySource(
+            sim, scenario.sender, scenario.vc, size, total_pdus=pdus
+        ).start()
+        sim.run(until=2.0)
+        offl_sim = (
+            scenario.receiver.cpu.total_cycles / len(scenario.received)
+            if scenario.received
+            else float("nan")
+        )
+
+        # Host-SAR: same PDUs through the software baseline, paced to
+        # 60% of its analytic receive capacity (a greedy source drives
+        # the per-cell-interrupt receiver into collapse -- that failure
+        # is T5's story; here we want clean cost accounting).
+        sar_model = host_cycles_per_pdu_hostsar(sar_config, size, "rx")
+        sustainable = sar_config.host_cpu.clock_hz / sar_model
+        sim2 = Simulator()
+        tx = HostSarInterface(sim2, sar_config, name="sar-tx")
+        rx = HostSarInterface(sim2, sar_config, name="sar-rx")
+        link = PhysicalLink(sim2, sar_config.link, sink=rx.rx_input)
+        tx.attach_tx_link(link)
+        vc = tx.open_vc()
+        rx.open_vc(address=vc.address)
+        tx.start()
+        PoissonSource(
+            sim2, tx, vc.address, size, pdus_per_second=0.6 * sustainable
+        ).start()
+        sim2.run(until=pdus / (0.6 * sustainable))
+        sar_sim = (
+            rx.cpu.total_cycles / rx.pdus_received.count
+            if rx.pdus_received.count
+            else float("nan")
+        )
+
+        offl_model = host_cycles_per_pdu_offloaded(nic_config, size, "rx")
+        sar_model = host_cycles_per_pdu_hostsar(sar_config, size, "rx")
+        advantage = offload_advantage(nic_config, sar_config, size, "rx")
+        advantages.append(advantage)
+        rows.append([size, offl_model, offl_sim, sar_model, sar_sim, advantage])
+    result = ExperimentResult(
+        experiment_id="T3",
+        title="Host CPU cycles per received PDU: offloaded vs host SAR",
+        headers=headers,
+        rows=rows,
+    )
+    result.metrics["max_advantage"] = max(advantages)
+    result.metrics["min_advantage"] = min(advantages)
+    result.notes.append(
+        "host-SAR cost grows with the PDU's cell count; offloaded cost "
+        "is per-PDU (plus copies)"
+    )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# F5: FIFO occupancy and loss under burstiness
+# ---------------------------------------------------------------------------
+
+def run_f5(
+    fifo_depths: Sequence[int] = (8, 16, 32, 64, 128, 256),
+    burst_pdus: float = 8.0,
+    sdu_size: int = 9180,
+    window: float = 0.04,
+) -> ExperimentResult:
+    """F5: receive-FIFO sizing when the engine is slower than the link.
+
+    At STS-12c the default 25 MHz receive engine's per-cell time exceeds
+    the cell slot, so FIFO occupancy climbs during bursts; the FIFO
+    depth determines whether the inter-burst idle rescues it or cells
+    spill.
+    """
+    config = aurora_oc12()
+    series = Series(name="rx fifo", x_label="fifo_cells")
+    for depth in fifo_depths:
+        cfg = replace(config, rx_fifo_cells=depth)
+        sim = Simulator()
+        scenario = build_point_to_point(sim, cfg)
+        source = OnOffSource(
+            sim,
+            scenario.sender,
+            scenario.vc,
+            sdu_size,
+            mean_burst_pdus=burst_pdus,
+            mean_off_time=2e-3,
+        )
+        source.start()
+        sim.run(until=window)
+        fifo = scenario.receiver.rx_fifo
+        series.add_point(
+            depth,
+            loss_ratio=fifo.loss_ratio,
+            peak_occupancy=fifo.peak_occupancy,
+            mean_occupancy=fifo.occupancy.mean(sim.now),
+        )
+    result = ExperimentResult(
+        experiment_id="F5",
+        title="RX FIFO loss/occupancy vs depth (STS-12c, bursty load)",
+        series=series,
+    )
+    result.metrics["loss_at_min_depth"] = series.column("loss_ratio")[0]
+    result.metrics["loss_at_max_depth"] = series.column("loss_ratio")[-1]
+    result.notes.append(
+        "loss falls with depth because inter-burst idle drains the "
+        "backlog; sustained overload would defeat any depth"
+    )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# T4: adaptor memory bandwidth budget
+# ---------------------------------------------------------------------------
+
+def run_t4(
+    sdu_size: int = 9180,
+    window: float = 0.02,
+) -> ExperimentResult:
+    """T4: buffer-memory traffic per cell vs the memory's capability."""
+    headers = [
+        "link",
+        "offered (Mb/s)",
+        "memory traffic (Mb/s)",
+        "available (Mb/s)",
+        "headroom (x)",
+    ]
+    rows: List[List] = []
+    headrooms = {}
+    for config in (aurora_oc3(), aurora_oc12()):
+        sim = Simulator()
+        scenario = build_point_to_point(sim, config)
+        GreedySource(sim, scenario.sender, scenario.vc, sdu_size).start()
+        sim.run(until=window)
+        mem = scenario.receiver.buffer_memory
+        required = mem.required_bandwidth_bps(window) / 1e6
+        available = mem.spec.total_bandwidth_bps / 1e6
+        rows.append(
+            [
+                config.link.name,
+                scenario.goodput_mbps(window),
+                required,
+                available,
+                available / required if required else float("inf"),
+            ]
+        )
+        headrooms[config.link.name] = available / required if required else float("inf")
+    result = ExperimentResult(
+        experiment_id="T4",
+        title="Adaptor buffer-memory bandwidth budget (receive side)",
+        headers=headers,
+        rows=rows,
+    )
+    for link_name, headroom in headrooms.items():
+        result.metrics[f"headroom_{link_name}"] = headroom
+    result.notes.append(
+        "every user byte is written once and read once: traffic ~= 2x "
+        "goodput; dual-ported memory keeps headroom > 1"
+    )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# F6: multi-VC interleaving on receive
+# ---------------------------------------------------------------------------
+
+def run_f6(
+    vc_counts: Sequence[int] = (1, 2, 4, 8, 16, 32, 64, 128),
+    sdu_size: int = 1500,
+    window: float = 0.03,
+) -> ExperimentResult:
+    """F6: sustainable receive goodput vs interleaved VCs, CAM vs none.
+
+    Cells from N VCs arrive round-robin (one PDU per VC in flight), so
+    every reassembly context is touched every N cells.  Delivery uses
+    upstream backpressure (blocking FIFO put) to measure the sustainable
+    rate rather than overload collapse; the host stages are zeroed so
+    the receive engine is the stage under test.
+    """
+    series = Series(name="multi-vc rx", x_label="n_vcs")
+    for n_vcs in vc_counts:
+        row = {}
+        for cam, label in ((True, "cam_mbps"), (False, "software_mbps")):
+            base = aurora_oc3() if cam else aurora_oc3().without_cam()
+            # With N VCs completing within one generation, N host buffers
+            # are simultaneously in flight through the completion DMA;
+            # size the pool to the VC count so buffer starvation does not
+            # masquerade as lookup cost.
+            base = replace(base, rx_buffer_slots=max(64, 4 * n_vcs))
+            config = lab_host(base)
+            # One "generation" interleaves one PDU from every VC; the
+            # window must span several so bursty completions average out.
+            generation = n_vcs * cells_for_sdu(sdu_size) * config.link.cell_time
+            run_window = max(window, 8 * generation)
+            sim = Simulator()
+            nic = HostNetworkInterface(sim, config, name="rxhost")
+            received: List = []
+            nic.on_pdu = received.append
+            source = InterleavedCellSource(
+                sim,
+                nic.rx_engine,
+                config.link,
+                n_vcs,
+                sdu_size,
+                blocking_fifo=nic.rx_fifo,
+            )
+            for address in source.vcs:
+                nic.open_vc(address=address)
+            nic.start()
+            source.start()
+            sim.run(until=run_window)
+            row[label] = windowed_goodput_mbps(
+                received, run_window / 4, run_window
+            )
+        series.add_point(n_vcs, **row)
+    result = ExperimentResult(
+        experiment_id="F6",
+        title="Sustainable RX goodput vs interleaved VCs: CAM vs software lookup",
+        series=series,
+    )
+    cam_col = series.column("cam_mbps")
+    sw_col = series.column("software_mbps")
+    result.metrics["cam_retention"] = (
+        cam_col[-1] / max(cam_col) if max(cam_col) else 0.0
+    )
+    result.metrics["software_retention"] = (
+        sw_col[-1] / max(sw_col) if max(sw_col) else 0.0
+    )
+    result.notes.append(
+        "the CAM's lookup cost is flat in the VC count; the software "
+        "probe grows with the table and erodes goodput"
+    )
+    result.notes.append(
+        "the mild CAM-side droop is completion clustering: N interleaved "
+        "PDUs finish within one generation and their serial completion "
+        "DMAs stall the engine"
+    )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# T5: architecture comparison
+# ---------------------------------------------------------------------------
+
+def run_t5(
+    sdu_size: int = 9180,
+    window: float = 0.04,
+) -> ExperimentResult:
+    """T5: the four system alternatives under an identical workload.
+
+    Per architecture we measure sustainable transmit capacity, receive
+    capacity, and full-duplex aggregate (both directions active on one
+    interface -- where a shared engine pays for its single instruction
+    stream).  Host cost columns come from the cycle models.
+    """
+    headers = [
+        "architecture",
+        "tx cap (Mb/s)",
+        "rx cap (Mb/s)",
+        "duplex agg (Mb/s)",
+        "host cycles/PDU (rx)",
+        "flexible",
+    ]
+    rows: List[List] = []
+    aggregates: Dict[str, float] = {}
+    nic_cfg = aurora_oc12()
+    sar_cfg = HostSarConfig(link=STS12C_622, rx_fifo_cells=4096)
+
+    def add_offloaded(config: NicConfig, label: str, flexible: str, shared: bool):
+        cfg = lab_host(config)
+        tx_cap = _measure_tx_capacity(cfg, sdu_size, window, shared=shared)
+        rx_cap = _measure_rx_capacity(cfg, sdu_size, window, shared=shared)
+        duplex = _measure_duplex_aggregate(cfg, sdu_size, window, shared=shared)
+        host_cycles = host_cycles_per_pdu_offloaded(nic_cfg, sdu_size, "rx")
+        rows.append([label, tx_cap, rx_cap, duplex, host_cycles, flexible])
+        aggregates[label] = duplex
+
+    add_offloaded(nic_cfg, "offloaded dual-engine", "yes", shared=False)
+    add_offloaded(nic_cfg, "offloaded shared-engine", "yes", shared=True)
+    add_offloaded(
+        hardwired_config(STS12C_622, base=nic_cfg), "hardwired VLSI", "no",
+        shared=False,
+    )
+
+    # Host-based SAR: the host is the engine; measure transmit capacity
+    # directly and receive capacity at a 90%-of-model paced feed.
+    sar_model = host_cycles_per_pdu_hostsar(sar_cfg, sdu_size, "rx")
+    sustainable = sar_cfg.host_cpu.clock_hz / sar_model
+    sim = Simulator()
+    tx = HostSarInterface(sim, sar_cfg, name="sar-tx")
+    rx = HostSarInterface(sim, sar_cfg, name="sar-rx")
+    link = PhysicalLink(sim, sar_cfg.link, sink=rx.rx_input)
+    tx.attach_tx_link(link)
+    vc = tx.open_vc()
+    rx.open_vc(address=vc.address)
+    tx.start()
+    received: List = []
+    rx.on_pdu = received.append
+    PoissonSource(
+        sim, tx, vc.address, sdu_size, pdus_per_second=0.9 * sustainable
+    ).start()
+    sar_window = max(window, 40 / sustainable)
+    sim.run(until=sar_window)
+    rx_cap = windowed_goodput_mbps(received, sar_window / 4, sar_window)
+    tx_cap = tx.tx_throughput.megabits_per_second()
+    rows.append(
+        ["host-software SAR", tx_cap, rx_cap, rx_cap, sar_model, "yes"]
+    )
+    aggregates["host-software SAR"] = rx_cap
+
+    result = ExperimentResult(
+        experiment_id="T5",
+        title=f"Architecture comparison, {sdu_size}-byte PDUs at STS-12c",
+        headers=headers,
+        rows=rows,
+    )
+    result.metrics["offloaded_vs_hostsar"] = (
+        aggregates["offloaded dual-engine"] / aggregates["host-software SAR"]
+        if aggregates.get("host-software SAR")
+        else float("inf")
+    )
+    result.metrics["hardwired_vs_offloaded"] = (
+        aggregates["hardwired VLSI"] / aggregates["offloaded dual-engine"]
+        if aggregates.get("offloaded dual-engine")
+        else float("inf")
+    )
+    result.metrics["dual_vs_shared"] = (
+        aggregates["offloaded dual-engine"] / aggregates["offloaded shared-engine"]
+        if aggregates.get("offloaded shared-engine")
+        else float("inf")
+    )
+    result.notes.append(
+        "offload wins on host cost; hardwired wins on ceiling; the "
+        "shared engine pays under full-duplex load"
+    )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# F7: engine clock sweep (ablation)
+# ---------------------------------------------------------------------------
+
+def run_f7(
+    clocks_mhz: Sequence[float] = (10, 16, 20, 25, 33, 40, 50, 66),
+    sdu_size: int = 9180,
+    window: float = 0.02,
+    simulate: bool = True,
+) -> ExperimentResult:
+    """F7: how fast must the engines be for each link rate?
+
+    Per direction, the simulated point measures the *sustainable* rate:
+    transmit by draining a greedy sender onto the wire, receive by
+    feeding the engine through a backpressured FIFO, both with free
+    host software.
+    """
+    base = aurora_oc12()
+    series = Series(name="clock sweep", x_label="engine_mhz")
+    for mhz in clocks_mhz:
+        config = lab_host(base.with_engines(base.tx_engine.at_clock(mhz * 1e6)))
+        point = {
+            "tx_model_mbps": tx_throughput_model_mbps(config, sdu_size),
+            "rx_model_mbps": rx_throughput_model_mbps(config, sdu_size),
+        }
+        if simulate:
+            point["tx_sim_mbps"] = _measure_tx_capacity(config, sdu_size, window)
+            point["rx_sim_mbps"] = _measure_rx_capacity(config, sdu_size, window)
+        series.add_point(mhz, **point)
+    result = ExperimentResult(
+        experiment_id="F7",
+        title="Saturation throughput vs engine clock (STS-12c link)",
+        series=series,
+    )
+    oc3_user = STS3C_155.effective_user_rate_bps / 1e6
+    oc12_user = STS12C_622.effective_user_rate_bps / 1e6
+
+    def engine_threshold(direction: str, target: float) -> float:
+        """Lowest swept clock whose per-cell budget clears *target*."""
+        fn = tx_saturation_mbps if direction == "tx" else rx_saturation_mbps
+        for mhz in series.x:
+            cfg = base.with_engines(base.tx_engine.at_clock(mhz * 1e6))
+            if fn(cfg) >= target * 0.999:
+                return mhz
+        return float("inf")
+
+    result.metrics["rx_mhz_for_oc3"] = engine_threshold("rx", oc3_user)
+    result.metrics["rx_mhz_for_oc12"] = engine_threshold("rx", oc12_user)
+    result.metrics["tx_mhz_for_oc12"] = engine_threshold("tx", oc12_user)
+    result.notes.append(
+        "transmit saturates STS-12c at a lower clock than receive; the "
+        "receive gap is the case for per-cell hardware assists"
+    )
+    return result
+
+
+def _measure_tx_capacity(
+    config: NicConfig, sdu_size: int, window: float, shared: bool = False
+) -> float:
+    """Transmit-side sustainable goodput: sender into a counting sink."""
+    sim = Simulator()
+    sender = HostNetworkInterface(sim, config, name="txhost")
+    if shared:
+        share_engine(sender)
+    wire_times: List[float] = []
+
+    def sink(cell) -> None:
+        if cell.end_of_frame:
+            wire_times.append(sim.now)
+
+    link = PhysicalLink(sim, config.link, sink=sink, name="tx-probe")
+    sender.attach_tx_link(link)
+    vc = sender.open_vc()
+    GreedySource(sim, sender, vc.address, sdu_size).start()
+    sim.run(until=window)
+    if len(wire_times) < 3:
+        return 0.0
+    span = wire_times[-1] - wire_times[0]
+    return ((len(wire_times) - 1) * sdu_size * 8 / span) / 1e6 if span > 0 else 0.0
+
+
+def _measure_rx_capacity(
+    config: NicConfig, sdu_size: int, window: float, shared: bool = False
+) -> float:
+    """Receive-side sustainable goodput: backpressured cell feed."""
+    sim = Simulator()
+    nic = HostNetworkInterface(sim, config, name="rxhost")
+    if shared:
+        share_engine(nic)
+    received: List = []
+    nic.on_pdu = received.append
+    vc = nic.open_vc(address=VcAddress(0, 100))
+    nic.start()
+    segmenter = Aal5Segmenter(vc.address)
+    payload = make_payload(sdu_size)
+
+    def feeder():
+        while True:
+            for cell in segmenter.segment(payload):
+                yield sim.timeout(config.link.cell_time)
+                yield nic.rx_fifo.put(cell)
+
+    sim.process(feeder())
+    sim.run(until=window)
+    return steady_goodput_mbps(received)
+
+
+def _measure_duplex_aggregate(
+    config: NicConfig, sdu_size: int, window: float, shared: bool = False
+) -> float:
+    """Full-duplex sustainable aggregate on one interface.
+
+    The interface transmits greedily (counting sink) while its receive
+    path absorbs a backpressured feed; the aggregate is where a shared
+    engine's single instruction stream shows up.
+    """
+    sim = Simulator()
+    nic = HostNetworkInterface(sim, config, name="duplexhost")
+    if shared:
+        share_engine(nic)
+    wire_times: List[float] = []
+
+    def sink(cell) -> None:
+        if cell.end_of_frame:
+            wire_times.append(sim.now)
+
+    link = PhysicalLink(sim, config.link, sink=sink, name="duplex-probe")
+    nic.attach_tx_link(link)
+    tx_vc = nic.open_vc(address=VcAddress(0, 90))
+    rx_vc = nic.open_vc(address=VcAddress(0, 100))
+    received: List = []
+    nic.on_pdu = received.append
+    nic.start()
+    GreedySource(sim, nic, tx_vc.address, sdu_size).start()
+    segmenter = Aal5Segmenter(rx_vc.address)
+    payload = make_payload(sdu_size)
+
+    def feeder():
+        while True:
+            for cell in segmenter.segment(payload):
+                yield sim.timeout(config.link.cell_time)
+                yield nic.rx_fifo.put(cell)
+
+    sim.process(feeder())
+    sim.run(until=window)
+    tx_mbps = 0.0
+    if len(wire_times) >= 3:
+        span = wire_times[-1] - wire_times[0]
+        if span > 0:
+            tx_mbps = ((len(wire_times) - 1) * sdu_size * 8 / span) / 1e6
+    return tx_mbps + steady_goodput_mbps(received)
+
+
+# ---------------------------------------------------------------------------
+# F8: analytic model vs simulation
+# ---------------------------------------------------------------------------
+
+def run_f8(
+    sizes: Sequence[int] = (64, 256, 1024, 4096, 9180, 32768),
+    window: float = 0.05,
+) -> ExperimentResult:
+    """F8: cross-validation -- closed forms vs the discrete-event core."""
+    config = aurora_oc3()
+    headers = [
+        "sdu_bytes",
+        "tx model (Mb/s)",
+        "tx sim (Mb/s)",
+        "tput err (%)",
+        "lat model (us)",
+        "lat sim (us)",
+        "lat err (%)",
+    ]
+    rows: List[List] = []
+    worst_tput_err = 0.0
+    worst_lat_err = 0.0
+    for size in sizes:
+        model_mbps = min(
+            tx_throughput_model_mbps(config, size),
+            rx_throughput_model_mbps(config, size),
+        )
+        sim = Simulator()
+        scenario = build_point_to_point(sim, lab_host(config))
+        GreedySource(sim, scenario.sender, scenario.vc, size).start()
+        sim.run(until=_window_for(size, window, config.link))
+        sim_mbps = steady_goodput_mbps(scenario.received)
+        tput_err = abs(sim_mbps - model_mbps) / model_mbps * 100
+
+        sim2 = Simulator()
+        quiet = build_point_to_point(sim2, config)
+        delivery_times: List[float] = []
+        quiet.receiver.on_pdu = lambda _c: delivery_times.append(sim2.now)
+        post_time = sim2.now
+        quiet.sender.post(quiet.vc, make_payload(size))
+        sim2.run(until=1.0)
+        lat_sim = delivery_times[0] - post_time if delivery_times else float("nan")
+        lat_model = latency_model(config, size).total
+        lat_err = abs(lat_sim - lat_model) / lat_model * 100
+
+        worst_tput_err = max(worst_tput_err, tput_err)
+        worst_lat_err = max(worst_lat_err, lat_err)
+        rows.append(
+            [size, model_mbps, sim_mbps, tput_err, lat_model * 1e6, lat_sim * 1e6, lat_err]
+        )
+    result = ExperimentResult(
+        experiment_id="F8",
+        title="Analytic model vs simulation (STS-3c)",
+        headers=headers,
+        rows=rows,
+    )
+    result.metrics["worst_throughput_error_pct"] = worst_tput_err
+    result.metrics["worst_latency_error_pct"] = worst_lat_err
+    result.notes.append(
+        "residual error is pipelining/queueing the closed forms ignore"
+    )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# A1-A4: design-choice ablations
+# ---------------------------------------------------------------------------
+
+def run_a1(
+    sizes: Sequence[int] = (64, 512, 1500, 9180, 65535),
+    window: float = 0.03,
+) -> ExperimentResult:
+    """A1: adaptation-layer efficiency -- AAL5-class vs AAL3/4.
+
+    The simple-and-efficient layer's pitch: AAL3/4 pays 4 of every 48
+    payload bytes to per-cell SAR fields (plus a few engine cycles),
+    so at link saturation it delivers ~44/48 of AAL5's goodput.
+    """
+    series = Series(name="aal efficiency", x_label="sdu_bytes")
+    for size in sizes:
+        run_window = _window_for(size, window, STS3C_155)
+        row = {}
+        for label, config in (
+            ("aal5_mbps", lab_host(aurora_oc3())),
+            ("aal34_mbps", lab_host(aurora_oc3().with_aal34())),
+        ):
+            sim = Simulator()
+            scenario = build_point_to_point(sim, config)
+            GreedySource(sim, scenario.sender, scenario.vc, size).start()
+            sim.run(until=run_window)
+            row[label] = steady_goodput_mbps(scenario.received)
+        series.add_point(size, **row)
+    result = ExperimentResult(
+        experiment_id="A1",
+        title="Goodput: AAL5-class vs AAL3/4 data path (STS-3c)",
+        series=series,
+    )
+    aal5 = series.column("aal5_mbps")
+    aal34 = series.column("aal34_mbps")
+    result.metrics["efficiency_ratio_at_mtu"] = (
+        aal34[sizes.index(9180)] / aal5[sizes.index(9180)]
+        if aal5[sizes.index(9180)]
+        else 0.0
+    )
+    result.notes.append(
+        "the 4-bytes-per-cell SAR tax costs AAL3/4 ~8% of goodput at "
+        "saturation -- the quantitative case for the AAL5 lineage"
+    )
+    return result
+
+
+def run_a2(
+    sizes: Sequence[int] = (512, 9180),
+    crc_cycles: int = 130,
+) -> ExperimentResult:
+    """A2: the CRC hardware assist -- what software CRC would cost.
+
+    Moving the CRC into engine software adds ~130 cycles per cell
+    (table-driven over 48 bytes), multiplying the per-cell budget and
+    collapsing the saturation throughput.  Pure closed-form: the cost
+    models make this a one-line ablation.
+    """
+    headers = [
+        "sdu_bytes",
+        "hw CRC tx (Mb/s)",
+        "sw CRC tx (Mb/s)",
+        "hw CRC rx (Mb/s)",
+        "sw CRC rx (Mb/s)",
+    ]
+    rows: List[List] = []
+    base = aurora_oc3()
+    software = replace(
+        base,
+        tx_costs=base.tx_costs.with_software_crc(crc_cycles),
+        rx_costs=base.rx_costs.with_software_crc(crc_cycles),
+    )
+    for size in sizes:
+        rows.append(
+            [
+                size,
+                tx_throughput_model_mbps(base, size),
+                tx_throughput_model_mbps(software, size),
+                rx_throughput_model_mbps(base, size),
+                rx_throughput_model_mbps(software, size),
+            ]
+        )
+    result = ExperimentResult(
+        experiment_id="A2",
+        title=f"CRC in hardware vs engine software ({crc_cycles} cyc/cell)",
+        headers=headers,
+        rows=rows,
+    )
+    large = rows[-1]
+    result.metrics["tx_slowdown"] = large[1] / large[2]
+    result.metrics["rx_slowdown"] = large[3] / large[4]
+    result.notes.append(
+        "software CRC grows the per-cell budget ~9x (16 -> 146 cycles), "
+        "halving even STS-3c throughput: per-byte work must live in "
+        "hardware -- the paper's division of labour"
+    )
+    return result
+
+
+def run_a3(
+    windows_us: Sequence[float] = (0, 50, 200, 500),
+    sdu_size: int = 1500,
+    pdus: int = 60,
+) -> ExperimentResult:
+    """A3: interrupt coalescing -- host cycles vs added latency.
+
+    Merging completion interrupts amortises the entry/exit cycles but
+    delays delivery by up to the coalescing window: the classic
+    throughput/latency trade, measured on the real pipeline.
+    """
+    headers = [
+        "window (us)",
+        "interrupts",
+        "host cyc/PDU",
+        "mean latency (us)",
+    ]
+    rows: List[List] = []
+    for window_us in windows_us:
+        config = replace(
+            aurora_oc3(),
+            interrupt=InterruptSpec(coalesce_window=window_us * 1e-6),
+        )
+        sim = Simulator()
+        scenario = build_point_to_point(sim, config)
+        latencies: List[float] = []
+        inner = scenario.received
+
+        def on_pdu(completion, latencies=latencies):
+            # Time to the *user callback*: the quantity coalescing
+            # defers (delivered_at only marks the DMA landing).
+            inner.append(completion)
+            if completion.posted_at is not None:
+                latencies.append(sim.now - completion.posted_at)
+
+        scenario.receiver.on_pdu = on_pdu
+        # Light open-loop load: latency then reflects the unloaded path
+        # plus the coalescing delay, not queueing noise.
+        PoissonSource(
+            sim, scenario.sender, scenario.vc, sdu_size, pdus_per_second=400.0
+        ).start()
+        sim.run(until=pdus / 400.0)
+        delivered = len(latencies)
+        rows.append(
+            [
+                window_us,
+                scenario.receiver.interrupts.delivered.count,
+                scenario.receiver.cpu.total_cycles / delivered
+                if delivered
+                else float("nan"),
+                sum(latencies) / delivered * 1e6 if delivered else float("nan"),
+            ]
+        )
+    result = ExperimentResult(
+        experiment_id="A3",
+        title=f"Interrupt coalescing ({sdu_size}-byte PDUs, STS-3c)",
+        headers=headers,
+        rows=rows,
+    )
+    result.metrics["cycles_saved_ratio"] = (
+        rows[0][2] / rows[-1][2] if rows[-1][2] else float("nan")
+    )
+    result.metrics["latency_cost_us"] = rows[-1][3] - rows[0][3]
+    result.notes.append(
+        "coalescing trades completion latency for host cycles; with "
+        "per-PDU interrupts already cheap, the win is modest -- offload "
+        "itself was the big lever"
+    )
+    return result
+
+
+def run_a4(
+    burst_words: Sequence[int] = (8, 16, 32, 64, 128, 256),
+    sdu_size: int = 9180,
+) -> ExperimentResult:
+    """A4: host-bus burst length -- DMA efficiency vs bus hold time.
+
+    Short bursts re-arbitrate constantly (setup cycles dominate); long
+    bursts approach the bus's data-phase rate but hold it longer.  The
+    effective bandwidth feeds straight into the large-PDU throughput
+    ceiling via the staging-DMA term.
+    """
+    series = Series(name="bus burst sweep", x_label="burst_words")
+    base = aurora_oc12()
+    for words in burst_words:
+        bus = replace(base.bus, max_burst_words=words)
+        config = replace(base, bus=bus)
+        series.add_point(
+            words,
+            effective_bus_mbps=bus.effective_bandwidth_bps(sdu_size) / 1e6,
+            tx_model_mbps=tx_throughput_model_mbps(config, sdu_size),
+        )
+    result = ExperimentResult(
+        experiment_id="A4",
+        title=f"Bus burst length vs effective bandwidth ({sdu_size}-byte PDUs)",
+        series=series,
+    )
+    eff = series.column("effective_bus_mbps")
+    result.metrics["burst_gain"] = eff[-1] / eff[0]
+    result.notes.append(
+        "long DMA bursts amortise arbitration; the architecture's "
+        "100 MB/s-class bus only delivers near peak with 64+ word bursts"
+    )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
+    "T1": run_t1,
+    "T2": run_t2,
+    "F2": run_f2,
+    "F3": run_f3,
+    "F4": run_f4,
+    "T3": run_t3,
+    "F5": run_f5,
+    "T4": run_t4,
+    "F6": run_f6,
+    "T5": run_t5,
+    "F7": run_f7,
+    "F8": run_f8,
+    "A1": run_a1,
+    "A2": run_a2,
+    "A3": run_a3,
+    "A4": run_a4,
+}
+
+
+def run_experiment(experiment_id: str) -> ExperimentResult:
+    """Run one experiment by id (see :data:`EXPERIMENTS`)."""
+    runner = EXPERIMENTS.get(experiment_id.upper())
+    if runner is None:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"known: {', '.join(sorted(EXPERIMENTS))}"
+        )
+    return runner()

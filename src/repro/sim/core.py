@@ -1,0 +1,276 @@
+"""Event loop, clock, and the :class:`Event` primitive.
+
+The kernel follows the classic calendar-queue design: a binary heap of
+``(time, sequence, event)`` entries.  An :class:`Event` is the unit of
+synchronisation -- processes (see :mod:`repro.sim.process`) suspend on
+events and are resumed by the event's callbacks when it triggers.
+
+Only the simulator advances time.  All model code runs inside event
+callbacks, so there is no concurrency and no locking anywhere.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel-level misuse (double trigger, run-after-end...)."""
+
+
+#: Events scheduled with ``URGENT`` priority fire before normal events that
+#: share the same timestamp.  The kernel uses this internally to make
+#: process termination visible before ordinary timeouts at the same instant.
+NORMAL = 1
+URGENT = 0
+
+
+class Event:
+    """A one-shot occurrence that callbacks (and processes) can wait on.
+
+    An event has three observable states:
+
+    - *pending*: created but not yet triggered,
+    - *triggered*: scheduled to fire (value/exception already decided),
+    - *processed*: its callbacks have run.
+
+    ``trigger(value)`` succeeds the event; ``fail(exc)`` makes every waiter
+    re-raise ``exc``.  Both may be called at most once in total.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_exception", "_state")
+
+    _PENDING = 0
+    _TRIGGERED = 1
+    _PROCESSED = 2
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._state = Event._PENDING
+
+    # -- state inspection ------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the outcome (value or exception) is decided."""
+        return self._state != Event._PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._state == Event._PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self.triggered and self._exception is None
+
+    @property
+    def value(self) -> Any:
+        """The success value.  Raises if the event failed or is pending."""
+        if not self.triggered:
+            raise SimulationError("event value read before trigger")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        return self._exception
+
+    # -- triggering ------------------------------------------------------
+
+    def trigger(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Succeed the event with *value* after *delay* seconds."""
+        if self.triggered:
+            raise SimulationError("event triggered twice")
+        self._value = value
+        self._state = Event._TRIGGERED
+        self.sim._schedule(delay, self)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Fail the event; waiters re-raise *exception*."""
+        if self.triggered:
+            raise SimulationError("event triggered twice")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._exception = exception
+        self._state = Event._TRIGGERED
+        self.sim._schedule(delay, self)
+        return self
+
+    # -- waiting ---------------------------------------------------------
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run *fn(event)* when the event is processed.
+
+        If the event has already been processed the callback runs
+        immediately, which makes late subscription race-free.
+        """
+        if self._state == Event._PROCESSED:
+            fn(self)
+        else:
+            self.callbacks.append(fn)
+
+    def _process(self) -> None:
+        self._state = Event._PROCESSED
+        callbacks, self.callbacks = self.callbacks, []
+        for fn in callbacks:
+            fn(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = ("pending", "triggered", "processed")[self._state]
+        return f"<{type(self).__name__} {state} at t={self.sim.now:.9f}>"
+
+
+class Timeout(Event):
+    """An event that triggers itself *delay* seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self._value = value
+        self._state = Event._TRIGGERED
+        sim._schedule(delay, self)
+
+
+class Simulator:
+    """The event loop: a clock plus a time-ordered queue of events.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.process(my_generator_function(sim))
+        sim.run(until=1.0)
+
+    Time is a float in seconds and only moves forward.  Events scheduled
+    for identical times fire in scheduling order (FIFO), which keeps runs
+    deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._sequence = 0
+        self._running = False
+
+    # -- clock -----------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    # -- event construction helpers --------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh pending :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires *delay* seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator) -> "Process":
+        """Launch *generator* as a cooperative process (see sim.process)."""
+        from repro.sim.process import Process
+
+        return Process(self, generator)
+
+    # -- scheduling ------------------------------------------------------
+
+    def _schedule(self, delay: float, event: Event, priority: int = NORMAL) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self._sequence += 1
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, self._sequence, event)
+        )
+
+    # -- execution -------------------------------------------------------
+
+    def step(self) -> None:
+        """Process exactly one event (advancing the clock to it)."""
+        when, _priority, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        event._process()
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or the clock would pass *until*.
+
+        When *until* is given the clock is left exactly at *until* (even if
+        the next event lies beyond it), mirroring simpy semantics so that
+        rate computations over the run window are exact.
+        """
+        if self._running:
+            raise SimulationError("run() called re-entrantly")
+        self._running = True
+        try:
+            if until is None:
+                while self._queue:
+                    self.step()
+            else:
+                if until < self._now:
+                    raise SimulationError(
+                        f"run(until={until}) is in the past (now={self._now})"
+                    )
+                while self._queue and self._queue[0][0] <= until:
+                    self.step()
+                self._now = until
+        finally:
+            self._running = False
+
+    def run_until_idle(self, max_events: int = 50_000_000) -> int:
+        """Run to queue exhaustion; return the number of events processed.
+
+        *max_events* is a runaway guard for tests -- exceeding it raises
+        :class:`SimulationError` rather than hanging the test suite.
+        """
+        processed = 0
+        while self._queue:
+            self.step()
+            processed += 1
+            if processed > max_events:
+                raise SimulationError("simulation exceeded max_events guard")
+        return processed
+
+    # -- misc -------------------------------------------------------------
+
+    def schedule_call(
+        self, delay: float, fn: Callable[..., None], *args: Any
+    ) -> Event:
+        """Convenience: call ``fn(*args)`` after *delay* seconds.
+
+        Returns the underlying event (whose value is the function result).
+        """
+        ev = Event(self)
+
+        def runner(event: Event) -> None:
+            fn(*args)
+
+        ev.add_callback(runner)
+        ev._state = Event._TRIGGERED
+        self._schedule(delay, ev)
+        return ev
+
+    def pending_events(self) -> int:
+        """Number of events still queued (triggered but unprocessed)."""
+        return len(self._queue)
+
+
+def all_processed(events: Iterable[Event]) -> bool:
+    """True when every event in *events* has been processed."""
+    return all(ev.processed for ev in events)

@@ -1,0 +1,247 @@
+"""Statistics collection for simulations.
+
+All experiment output flows through these small accumulators.  They are
+deliberately dependency-free (no numpy) so the core library stays pure;
+the benchmark harness may post-process with numpy/scipy.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.sim.core import Simulator
+
+
+class Counter:
+    """A named monotonically increasing event counter."""
+
+    __slots__ = ("name", "count")
+
+    def __init__(self, name: str = "counter") -> None:
+        self.name = name
+        self.count = 0
+
+    def increment(self, by: int = 1) -> None:
+        if by < 0:
+            raise ValueError("Counter only increments")
+        self.count += by
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.count})"
+
+
+class WelfordStat:
+    """Streaming mean/variance via Welford's algorithm.
+
+    Numerically stable for long runs; used for per-sample statistics such
+    as latencies.
+    """
+
+    __slots__ = ("n", "_mean", "_m2", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, x: float) -> None:
+        self.n += 1
+        delta = x - self._mean
+        self._mean += delta / self.n
+        self._m2 += delta * (x - self._mean)
+        if x < self.minimum:
+            self.minimum = x
+        if x > self.maximum:
+            self.maximum = x
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.n else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (n-1 denominator)."""
+        return self._m2 / (self.n - 1) if self.n > 1 else 0.0
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "WelfordStat") -> "WelfordStat":
+        """Combine two accumulators (parallel Welford merge)."""
+        merged = WelfordStat()
+        merged.n = self.n + other.n
+        if merged.n == 0:
+            return merged
+        delta = other._mean - self._mean
+        merged._mean = self._mean + delta * other.n / merged.n
+        merged._m2 = (
+            self._m2 + other._m2 + delta * delta * self.n * other.n / merged.n
+        )
+        merged.minimum = min(self.minimum, other.minimum)
+        merged.maximum = max(self.maximum, other.maximum)
+        return merged
+
+
+class TimeWeightedStat:
+    """Time-weighted average of a piecewise-constant signal.
+
+    Used for occupancies and utilisations: ``record(t, level)`` notes that
+    the signal changed to *level* at time *t*; the mean weights each level
+    by how long it was held.
+    """
+
+    __slots__ = ("_last_time", "_last_level", "_area", "_start", "maximum")
+
+    def __init__(self, start_time: float = 0.0, initial_level: float = 0.0):
+        self._start = start_time
+        self._last_time = start_time
+        self._last_level = initial_level
+        self._area = 0.0
+        self.maximum = initial_level
+
+    @property
+    def current(self) -> float:
+        return self._last_level
+
+    def record(self, now: float, level: float) -> None:
+        if now < self._last_time:
+            raise ValueError("time went backwards in TimeWeightedStat")
+        self._area += self._last_level * (now - self._last_time)
+        self._last_time = now
+        self._last_level = level
+        if level > self.maximum:
+            self.maximum = level
+
+    def mean(self, now: Optional[float] = None) -> float:
+        """Time-weighted mean over [start, now]."""
+        end = self._last_time if now is None else now
+        area = self._area + self._last_level * max(0.0, end - self._last_time)
+        span = end - self._start
+        return area / span if span > 0 else self._last_level
+
+
+class Histogram:
+    """Fixed-bin histogram with overflow/underflow tracking."""
+
+    def __init__(self, edges: Sequence[float]) -> None:
+        if len(edges) < 2:
+            raise ValueError("need at least two bin edges")
+        if any(b <= a for a, b in zip(edges, edges[1:])):
+            raise ValueError("bin edges must be strictly increasing")
+        self.edges = list(edges)
+        self.counts = [0] * (len(edges) - 1)
+        self.underflow = 0
+        self.overflow = 0
+        self.total = 0
+
+    @classmethod
+    def linear(cls, lo: float, hi: float, bins: int) -> "Histogram":
+        step = (hi - lo) / bins
+        return cls([lo + i * step for i in range(bins + 1)])
+
+    def add(self, x: float) -> None:
+        self.total += 1
+        if x < self.edges[0]:
+            self.underflow += 1
+        elif x >= self.edges[-1]:
+            self.overflow += 1
+        else:
+            self.counts[bisect_right(self.edges, x) - 1] += 1
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile from binned counts (bin upper edge)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.total == 0:
+            return math.nan
+        target = q * self.total
+        seen = self.underflow
+        if seen >= target:
+            return self.edges[0]
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= target:
+                return self.edges[i + 1]
+        return self.edges[-1]
+
+    def nonzero_bins(self) -> List[Tuple[float, float, int]]:
+        return [
+            (self.edges[i], self.edges[i + 1], c)
+            for i, c in enumerate(self.counts)
+            if c
+        ]
+
+
+class ThroughputMeter:
+    """Accumulates delivered payload bytes and reports bit rates."""
+
+    __slots__ = ("sim", "bytes_total", "units_total", "_opened")
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.bytes_total = 0
+        self.units_total = 0
+        self._opened = sim.now
+
+    def account(self, nbytes: int) -> None:
+        if nbytes < 0:
+            raise ValueError("cannot account negative bytes")
+        self.bytes_total += nbytes
+        self.units_total += 1
+
+    def bits_per_second(self, now: Optional[float] = None) -> float:
+        end = self.sim.now if now is None else now
+        span = end - self._opened
+        return (self.bytes_total * 8) / span if span > 0 else 0.0
+
+    def megabits_per_second(self, now: Optional[float] = None) -> float:
+        return self.bits_per_second(now) / 1e6
+
+    def units_per_second(self, now: Optional[float] = None) -> float:
+        end = self.sim.now if now is None else now
+        span = end - self._opened
+        return self.units_total / span if span > 0 else 0.0
+
+
+class SeriesRecorder:
+    """Records (time, value) samples for later plotting or assertions."""
+
+    __slots__ = ("name", "times", "values")
+
+    def __init__(self, name: str = "series") -> None:
+        self.name = name
+        self.times: List[float] = []
+        self.values: List[float] = []
+
+    def record(self, t: float, v: float) -> None:
+        if self.times and t < self.times[-1]:
+            raise ValueError("series times must be non-decreasing")
+        self.times.append(t)
+        self.values.append(v)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def last(self) -> Tuple[float, float]:
+        if not self.times:
+            raise IndexError("empty series")
+        return self.times[-1], self.values[-1]
+
+    def max_value(self) -> float:
+        return max(self.values) if self.values else math.nan
+
+    def mean_value(self) -> float:
+        return sum(self.values) / len(self.values) if self.values else math.nan
+
+
+def summarize(samples: Iterable[float]) -> WelfordStat:
+    """Fold an iterable of samples into a :class:`WelfordStat`."""
+    stat = WelfordStat()
+    for x in samples:
+        stat.add(x)
+    return stat

@@ -1,0 +1,193 @@
+"""Contention primitives: counted resources and object stores.
+
+These model the shared facilities of the simulated hardware: a bus that one
+master holds at a time is a :class:`Resource` with capacity 1; a mailbox of
+descriptors between driver and adaptor is a :class:`Store`.
+
+Both follow the event discipline of the kernel: ``request``/``get``/``put``
+return events to ``yield`` on, and grants are strictly FIFO, which keeps
+simulations deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.sim.core import Event, SimulationError, Simulator
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource` (the event yields the token)."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, sim: Simulator, resource: "Resource") -> None:
+        super().__init__(sim)
+        self.resource = resource
+
+
+class Resource:
+    """A facility with *capacity* identical slots, granted FIFO.
+
+    Usage from a process::
+
+        grant = bus.request()
+        yield grant
+        ...use the bus...
+        bus.release(grant)
+
+    The *grant* object doubles as the token to release; releasing a grant
+    that was never issued (or twice) raises :class:`SimulationError`.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = "resource"):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._holders: set[Request] = set()
+        self._waiters: Deque[Request] = deque()
+        # statistics
+        self.total_requests = 0
+        self.total_wait_time = 0.0
+        self._request_times: dict[int, float] = {}
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently held slots."""
+        return len(self._holders)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiters)
+
+    def request(self) -> Request:
+        """Claim a slot; the returned event fires when the slot is granted."""
+        req = Request(self.sim, self)
+        self.total_requests += 1
+        self._request_times[id(req)] = self.sim.now
+        if len(self._holders) < self.capacity:
+            self._grant(req)
+        else:
+            self._waiters.append(req)
+        return req
+
+    def release(self, grant: Request) -> None:
+        """Return a previously granted slot, waking the next waiter."""
+        if grant not in self._holders:
+            raise SimulationError(f"release of unheld grant on {self.name}")
+        self._holders.discard(grant)
+        if self._waiters:
+            self._grant(self._waiters.popleft())
+
+    def _grant(self, req: Request) -> None:
+        self._holders.add(req)
+        started = self._request_times.pop(id(req), self.sim.now)
+        self.total_wait_time += self.sim.now - started
+        req.trigger(req)
+
+    @property
+    def mean_wait(self) -> float:
+        """Average time requests spent queued before being granted."""
+        granted = self.total_requests - len(self._waiters)
+        return self.total_wait_time / granted if granted else 0.0
+
+
+class Store:
+    """An unbounded-or-bounded FIFO buffer of Python objects.
+
+    ``put(item)`` returns an event that fires when the item has been
+    accepted (immediately unless the store is full); ``get()`` returns an
+    event that fires with the next item once one is available.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity: Optional[int] = None,
+        name: str = "store",
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 or None")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple[Event, Any]] = deque()
+        self.total_put = 0
+        self.total_got = 0
+        self.peak_occupancy = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_full(self) -> bool:
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    def put(self, item: Any) -> Event:
+        """Offer *item*; the event fires once the store has accepted it."""
+        ev = Event(self.sim)
+        if self._getters:
+            # Hand straight to the oldest waiting getter.
+            getter = self._getters.popleft()
+            self.total_put += 1
+            self.total_got += 1
+            getter.trigger(item)
+            ev.trigger(None)
+        elif not self.is_full:
+            self._accept(item)
+            ev.trigger(None)
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put: accept *item* now or return False (dropped)."""
+        if self._getters:
+            getter = self._getters.popleft()
+            self.total_put += 1
+            self.total_got += 1
+            getter.trigger(item)
+            return True
+        if self.is_full:
+            return False
+        self._accept(item)
+        return True
+
+    def get(self) -> Event:
+        """The event fires with the oldest item once one exists."""
+        ev = Event(self.sim)
+        if self._items:
+            item = self._items.popleft()
+            self.total_got += 1
+            ev.trigger(item)
+            self._drain_putters()
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-blocking get: ``(True, item)`` or ``(False, None)``."""
+        if not self._items:
+            return False, None
+        item = self._items.popleft()
+        self.total_got += 1
+        self._drain_putters()
+        return True, item
+
+    def _accept(self, item: Any) -> None:
+        self._items.append(item)
+        self.total_put += 1
+        if len(self._items) > self.peak_occupancy:
+            self.peak_occupancy = len(self._items)
+
+    def _drain_putters(self) -> None:
+        while self._putters and not self.is_full:
+            ev, item = self._putters.popleft()
+            self._accept(item)
+            ev.trigger(None)

@@ -1,0 +1,171 @@
+"""Traffic sources that drive an interface's send API.
+
+All sources work against anything exposing ``send(vc, sdu)`` returning
+a yieldable event (both :class:`~repro.nic.nic.HostNetworkInterface`
+and the host-SAR baseline qualify), so every experiment can swap
+architectures without touching its workload.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.atm.addressing import VcAddress
+from repro.sim.core import Simulator
+from repro.sim.monitor import Counter
+from repro.workloads.pdu_sizes import ConstantSize, SizeDistribution
+
+_PAYLOAD_BLOCK = bytes(range(256)) * 256
+
+
+def make_payload(size: int) -> bytes:
+    """Deterministic non-trivial payload of *size* bytes."""
+    if size <= len(_PAYLOAD_BLOCK):
+        return _PAYLOAD_BLOCK[:size]
+    reps = -(-size // len(_PAYLOAD_BLOCK))
+    return (_PAYLOAD_BLOCK * reps)[:size]
+
+
+class _SourceBase:
+    """Common bookkeeping for all sources."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interface,
+        vc: VcAddress,
+        sizes: SizeDistribution,
+        rng: Optional[random.Random] = None,
+        name: str = "source",
+    ) -> None:
+        self.sim = sim
+        self.interface = interface
+        self.vc = vc
+        self.sizes = sizes
+        self.rng = rng if rng is not None else random.Random(0)
+        self.name = name
+        self.pdus_offered = Counter(f"{name}.pdus")
+        self.bytes_offered = Counter(f"{name}.bytes")
+        self._process = None
+
+    def start(self):
+        """Launch the source process (idempotent); returns the process."""
+        if self._process is None:
+            self._process = self.sim.process(self._run())
+        return self._process
+
+    def _offer(self, size: int):
+        self.pdus_offered.increment()
+        self.bytes_offered.increment(size)
+        return self.interface.send(self.vc, make_payload(size))
+
+    def _run(self):  # pragma: no cover - abstract
+        raise NotImplementedError
+        yield  # noqa: unreachable - marks this as a generator function
+
+
+class GreedySource(_SourceBase):
+    """Saturating source: always a send in flight, optionally bounded.
+
+    ``total_pdus=None`` runs until the simulation stops.  Because
+    ``send`` blocks when the TX ring fills, a greedy source measures
+    the *interface's* capacity, not its own.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interface,
+        vc: VcAddress,
+        sizes: SizeDistribution | int,
+        total_pdus: Optional[int] = None,
+        rng: Optional[random.Random] = None,
+        name: str = "greedy",
+    ) -> None:
+        if isinstance(sizes, int):
+            sizes = ConstantSize(sizes)
+        super().__init__(sim, interface, vc, sizes, rng, name)
+        if total_pdus is not None and total_pdus < 1:
+            raise ValueError("total_pdus must be >= 1 or None")
+        self.total_pdus = total_pdus
+
+    def _run(self):
+        sent = 0
+        while self.total_pdus is None or sent < self.total_pdus:
+            size = self.sizes.sample(self.rng)
+            yield self._offer(size)
+            sent += 1
+
+
+class PoissonSource(_SourceBase):
+    """Open-loop Poisson arrivals at *pdus_per_second*.
+
+    Arrivals that find the send path backed up queue behind it (the
+    send event is not awaited), so offered load is honest even past
+    saturation.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interface,
+        vc: VcAddress,
+        sizes: SizeDistribution | int,
+        pdus_per_second: float,
+        rng: Optional[random.Random] = None,
+        name: str = "poisson",
+    ) -> None:
+        if isinstance(sizes, int):
+            sizes = ConstantSize(sizes)
+        super().__init__(sim, interface, vc, sizes, rng, name)
+        if pdus_per_second <= 0:
+            raise ValueError("rate must be positive")
+        self.rate = pdus_per_second
+
+    def _run(self):
+        while True:
+            yield self.sim.timeout(self.rng.expovariate(self.rate))
+            self._offer(self.sizes.sample(self.rng))
+
+
+class OnOffSource(_SourceBase):
+    """Bursty traffic: exponentially distributed on/off periods.
+
+    During an on-period PDUs are emitted back to back (awaited, so a
+    burst is as fast as the interface accepts); off-periods are silent.
+    The canonical generator for FIFO-sizing experiments (F5).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interface,
+        vc: VcAddress,
+        sizes: SizeDistribution | int,
+        mean_burst_pdus: float = 10.0,
+        mean_off_time: float = 1e-3,
+        rng: Optional[random.Random] = None,
+        name: str = "onoff",
+    ) -> None:
+        if isinstance(sizes, int):
+            sizes = ConstantSize(sizes)
+        super().__init__(sim, interface, vc, sizes, rng, name)
+        if mean_burst_pdus < 1:
+            raise ValueError("mean burst length must be >= 1 PDU")
+        if mean_off_time < 0:
+            raise ValueError("mean off time must be >= 0")
+        self.mean_burst_pdus = mean_burst_pdus
+        self.mean_off_time = mean_off_time
+        self.bursts = Counter(f"{name}.bursts")
+
+    def _run(self):
+        while True:
+            burst = max(1, round(self.rng.expovariate(1.0 / self.mean_burst_pdus)))
+            self.bursts.increment()
+            for _ in range(burst):
+                yield self._offer(self.sizes.sample(self.rng))
+            if self.mean_off_time > 0:
+                yield self.sim.timeout(
+                    self.rng.expovariate(1.0 / self.mean_off_time)
+                )

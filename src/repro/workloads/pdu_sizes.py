@@ -1,0 +1,124 @@
+"""PDU-size distributions.
+
+The interesting sizes in 1991:
+
+- 64-byte-class: transport acknowledgements and control traffic,
+- 576 bytes: the conservative Internet path MTU,
+- 1500 bytes: Ethernet-framed traffic crossing into the ATM world,
+- 9180 bytes: the IP-over-ATM default MTU (RFC 1626's number),
+- 65527/65535: the AAL5 ceiling, exercised by bulk transfer.
+
+The empirical mix weights these the way contemporary traffic studies
+did: most packets small, most *bytes* in the large packets.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Protocol, Sequence
+
+from repro.aal.aal5 import AAL5_MAX_SDU
+
+IP_OVER_ATM_MTU = 9180
+
+
+class SizeDistribution(Protocol):
+    """Anything that can draw PDU sizes."""
+
+    def sample(self, rng: random.Random) -> int:
+        """One PDU size in bytes."""
+        ...  # pragma: no cover
+
+    @property
+    def mean(self) -> float:
+        """Expected size in bytes."""
+        ...  # pragma: no cover
+
+
+class ConstantSize:
+    """Every PDU the same size -- the unit of most sweeps."""
+
+    def __init__(self, size: int) -> None:
+        if not 1 <= size <= AAL5_MAX_SDU:
+            raise ValueError(f"size {size} outside 1..{AAL5_MAX_SDU}")
+        self.size = size
+
+    def sample(self, rng: random.Random) -> int:
+        return self.size
+
+    @property
+    def mean(self) -> float:
+        return float(self.size)
+
+
+class UniformSize:
+    """Uniformly distributed sizes in [lo, hi]."""
+
+    def __init__(self, lo: int, hi: int) -> None:
+        if not 1 <= lo <= hi <= AAL5_MAX_SDU:
+            raise ValueError(f"bad range [{lo}, {hi}]")
+        self.lo = lo
+        self.hi = hi
+
+    def sample(self, rng: random.Random) -> int:
+        return rng.randint(self.lo, self.hi)
+
+    @property
+    def mean(self) -> float:
+        return (self.lo + self.hi) / 2
+
+
+class BimodalSize:
+    """Small-or-large: acknowledgement/bulk interleaving."""
+
+    def __init__(
+        self,
+        small: int = 64,
+        large: int = IP_OVER_ATM_MTU,
+        p_small: float = 0.5,
+    ) -> None:
+        if not 0.0 <= p_small <= 1.0:
+            raise ValueError("p_small outside [0, 1]")
+        if not 1 <= small <= AAL5_MAX_SDU or not 1 <= large <= AAL5_MAX_SDU:
+            raise ValueError("sizes outside AAL5 range")
+        self.small = small
+        self.large = large
+        self.p_small = p_small
+
+    def sample(self, rng: random.Random) -> int:
+        return self.small if rng.random() < self.p_small else self.large
+
+    @property
+    def mean(self) -> float:
+        return self.p_small * self.small + (1 - self.p_small) * self.large
+
+
+class EmpiricalInternetMix:
+    """A 1991-flavoured packet mix: many small, bytes in the large."""
+
+    DEFAULT_SIZES: Sequence[int] = (64, 128, 576, 1500, IP_OVER_ATM_MTU)
+    DEFAULT_WEIGHTS: Sequence[float] = (0.45, 0.15, 0.20, 0.15, 0.05)
+
+    def __init__(
+        self,
+        sizes: Sequence[int] | None = None,
+        weights: Sequence[float] | None = None,
+    ) -> None:
+        self.sizes = list(sizes if sizes is not None else self.DEFAULT_SIZES)
+        self.weights = list(
+            weights if weights is not None else self.DEFAULT_WEIGHTS
+        )
+        if len(self.sizes) != len(self.weights) or not self.sizes:
+            raise ValueError("sizes and weights must align and be non-empty")
+        if any(w < 0 for w in self.weights) or sum(self.weights) <= 0:
+            raise ValueError("weights must be non-negative, not all zero")
+        if any(not 1 <= s <= AAL5_MAX_SDU for s in self.sizes):
+            raise ValueError("sizes outside AAL5 range")
+
+    def sample(self, rng: random.Random) -> int:
+        return rng.choices(self.sizes, weights=self.weights, k=1)[0]
+
+    @property
+    def mean(self) -> float:
+        total = sum(self.weights)
+        return sum(s * w for s, w in zip(self.sizes, self.weights)) / total

@@ -1,0 +1,19 @@
+"""Shared fixtures for the test suite."""
+
+import random
+
+import pytest
+
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh simulator per test."""
+    return Simulator()
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG per test."""
+    return random.Random(12345)

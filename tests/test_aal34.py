@@ -1,0 +1,213 @@
+"""AAL3/4 SAR and CPCS: framing, MID interleaving, error procedures."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.aal import Aal34Reassembler, Aal34Segmenter, SarSegmentType
+from repro.aal.aal34 import (
+    CpcsFormatError,
+    CpcsTagError,
+    SarCrcError,
+    build_cpcs_pdu_34,
+    decode_sar_pdu,
+    encode_sar_pdu,
+    parse_cpcs_pdu_34,
+)
+from repro.aal.interface import AalError, ReassemblyFailure
+from repro.atm import AtmCell, VcAddress
+
+VC = VcAddress(0, 100)
+
+
+class TestSarPdu:
+    def test_roundtrip(self):
+        pdu = encode_sar_pdu(SarSegmentType.BOM, 3, 512, b"payload")
+        st_, sn, mid, payload = decode_sar_pdu(pdu)
+        assert (st_, sn, mid, payload) == (SarSegmentType.BOM, 3, 512, b"payload")
+
+    def test_always_48_bytes(self):
+        for size in (0, 1, 44):
+            assert len(encode_sar_pdu(SarSegmentType.COM, 0, 0, b"x" * size)) == 48
+
+    def test_crc_detects_any_flip(self):
+        pdu = bytearray(encode_sar_pdu(SarSegmentType.EOM, 1, 2, b"data"))
+        pdu[20] ^= 0x10
+        with pytest.raises(SarCrcError):
+            decode_sar_pdu(bytes(pdu))
+
+    def test_field_ranges(self):
+        with pytest.raises(AalError):
+            encode_sar_pdu(SarSegmentType.BOM, 16, 0, b"")
+        with pytest.raises(AalError):
+            encode_sar_pdu(SarSegmentType.BOM, 0, 1024, b"")
+        with pytest.raises(AalError):
+            encode_sar_pdu(SarSegmentType.BOM, 0, 0, b"x" * 45)
+
+    def test_decode_wrong_length(self):
+        with pytest.raises(AalError):
+            decode_sar_pdu(b"\x00" * 47)
+
+    @given(
+        st.sampled_from(list(SarSegmentType)),
+        st.integers(0, 15),
+        st.integers(0, 1023),
+        st.binary(max_size=44),
+    )
+    def test_roundtrip_property(self, st_, sn, mid, payload):
+        decoded = decode_sar_pdu(encode_sar_pdu(st_, sn, mid, payload))
+        assert decoded == (st_, sn, mid, payload)
+
+
+class TestCpcs34:
+    def test_roundtrip(self):
+        assert parse_cpcs_pdu_34(build_cpcs_pdu_34(b"hello", 7)) == b"hello"
+
+    def test_four_byte_alignment(self):
+        for size in range(0, 9):
+            assert len(build_cpcs_pdu_34(b"x" * size, 0)) % 4 == 0
+
+    def test_tag_mismatch_detected(self):
+        pdu = bytearray(build_cpcs_pdu_34(b"data", 5))
+        pdu[-3] ^= 0xFF  # ETag
+        with pytest.raises(CpcsTagError):
+            parse_cpcs_pdu_34(bytes(pdu))
+
+    def test_length_mismatch_detected(self):
+        pdu = bytearray(build_cpcs_pdu_34(b"data", 5))
+        pdu[-1] ^= 0x01  # Length low byte
+        with pytest.raises(CpcsFormatError):
+            parse_cpcs_pdu_34(bytes(pdu))
+
+    def test_malformed_length(self):
+        with pytest.raises(CpcsFormatError):
+            parse_cpcs_pdu_34(b"\x00" * 7)
+
+
+class TestSegmentation:
+    def test_single_cell_uses_ssm(self):
+        cells = Aal34Segmenter(VC).segment(b"tiny")
+        assert len(cells) == 1
+        st_, _sn, _mid, _p = decode_sar_pdu(cells[0].payload)
+        assert st_ is SarSegmentType.SSM
+
+    def test_multi_cell_structure(self):
+        cells = Aal34Segmenter(VC).segment(b"x" * 200)
+        types = [decode_sar_pdu(c.payload)[0] for c in cells]
+        assert types[0] is SarSegmentType.BOM
+        assert types[-1] is SarSegmentType.EOM
+        assert all(t is SarSegmentType.COM for t in types[1:-1])
+
+    def test_sequence_numbers_increment_mod_16(self):
+        cells = Aal34Segmenter(VC).segment(b"x" * 44 * 20)
+        sns = [decode_sar_pdu(c.payload)[1] for c in cells]
+        assert sns == [i % 16 for i in range(len(sns))]
+
+    def test_btag_increments_per_pdu(self):
+        seg = Aal34Segmenter(VC)
+        first = seg.segment(b"a" * 100)
+        second = seg.segment(b"b" * 100)
+        cpcs1 = b"".join(decode_sar_pdu(c.payload)[3] for c in first)
+        cpcs2 = b"".join(decode_sar_pdu(c.payload)[3] for c in second)
+        assert cpcs2[1] == (cpcs1[1] + 1) % 256
+
+    def test_mid_validation(self):
+        with pytest.raises(AalError):
+            Aal34Segmenter(VC, mid=2000)
+
+
+class TestReassembly:
+    @pytest.mark.parametrize("size", [0, 1, 43, 44, 45, 88, 500, 9180])
+    def test_roundtrip(self, size):
+        seg, ras = Aal34Segmenter(VC, mid=3), Aal34Reassembler()
+        sdu = bytes(i % 250 for i in range(size))
+        out = None
+        for cell in seg.segment(sdu):
+            out = ras.receive_cell(cell)
+        assert out is not None
+        assert out.sdu == sdu
+        assert out.mid == 3
+
+    def test_mid_interleaving_on_one_vc(self):
+        seg_a = Aal34Segmenter(VC, mid=1)
+        seg_b = Aal34Segmenter(VC, mid=2)
+        ras = Aal34Reassembler()
+        cells_a = seg_a.segment(b"A" * 400)
+        cells_b = seg_b.segment(b"B" * 300)
+        interleaved = []
+        for i in range(max(len(cells_a), len(cells_b))):
+            if i < len(cells_a):
+                interleaved.append(cells_a[i])
+            if i < len(cells_b):
+                interleaved.append(cells_b[i])
+        results = {}
+        for cell in interleaved:
+            out = ras.receive_cell(cell)
+            if out:
+                results[out.mid] = out.sdu
+        assert results == {1: b"A" * 400, 2: b"B" * 300}
+
+    def test_lost_com_poisons_until_eom(self):
+        seg, ras = Aal34Segmenter(VC), Aal34Reassembler()
+        cells = seg.segment(b"x" * 400)
+        for cell in cells[:3] + cells[4:]:
+            assert ras.receive_cell(cell) is None
+        assert ras.stats.failure_count(ReassemblyFailure.SEQUENCE) == 1
+        # Next PDU is clean.
+        out = None
+        for cell in seg.segment(b"clean"):
+            out = ras.receive_cell(cell)
+        assert out is not None and out.sdu == b"clean"
+
+    def test_lost_bom_orphans_segments(self):
+        seg, ras = Aal34Segmenter(VC), Aal34Reassembler()
+        cells = seg.segment(b"x" * 200)
+        for cell in cells[1:]:
+            assert ras.receive_cell(cell) is None
+        assert ras.stats.cells_orphaned == len(cells) - 1
+
+    def test_lost_eom_then_new_bom_discards_old(self):
+        seg, ras = Aal34Segmenter(VC), Aal34Reassembler()
+        first = seg.segment(b"a" * 200)[:-1]
+        for cell in first:
+            ras.receive_cell(cell)
+        out = None
+        for cell in seg.segment(b"b" * 100):
+            out = ras.receive_cell(cell)
+        assert out is not None and out.sdu == b"b" * 100
+        assert ras.stats.failure_count(ReassemblyFailure.PROTOCOL) == 1
+
+    def test_corrupted_cell_is_orphaned(self):
+        seg, ras = Aal34Segmenter(VC), Aal34Reassembler()
+        cells = seg.segment(b"x" * 300)
+        bad = bytearray(cells[2].payload)
+        bad[10] ^= 0x04
+        cells[2] = AtmCell(vpi=VC.vpi, vci=VC.vci, payload=bytes(bad))
+        for cell in cells:
+            ras.receive_cell(cell)
+        assert ras.stats.cells_orphaned == 1
+        # The stream notices the hole via the SN when the next cell lands.
+        assert ras.stats.failure_count(ReassemblyFailure.SEQUENCE) == 1
+
+    def test_abort_context(self):
+        seg, ras = Aal34Segmenter(VC, mid=5), Aal34Reassembler()
+        for cell in seg.segment(b"x" * 200)[:-1]:
+            ras.receive_cell(cell)
+        assert ras.active_contexts() == 1
+        assert ras.abort_context(VC, 5, ReassemblyFailure.TIMEOUT)
+        assert ras.active_contexts() == 0
+
+    def test_per_cell_overhead_is_four_bytes(self):
+        # 44 payload bytes per 48-byte cell: the efficiency cost vs AAL5.
+        seg = Aal34Segmenter(VC)
+        cells = seg.segment(b"x" * 440)
+        # 440 + 8 CPCS = 448 -> ceil(448/44) = 11 cells (AAL5 would use 10).
+        assert len(cells) == 11
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.binary(max_size=1500), st.integers(0, 1023))
+    def test_roundtrip_property(self, sdu, mid):
+        seg, ras = Aal34Segmenter(VC, mid=mid), Aal34Reassembler()
+        out = None
+        for cell in seg.segment(sdu):
+            out = ras.receive_cell(cell)
+        assert out is not None and out.sdu == sdu and out.mid == mid

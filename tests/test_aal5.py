@@ -1,0 +1,212 @@
+"""AAL5 segmentation/reassembly: framing, failure modes, properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.aal import (
+    AAL5_MAX_SDU,
+    Aal5Reassembler,
+    Aal5Segmenter,
+    build_cpcs_pdu,
+    parse_cpcs_pdu,
+)
+from repro.aal.aal5 import CpcsCrcError, CpcsLengthError, cells_for_sdu
+from repro.aal.interface import AalError, ReassemblyFailure
+from repro.atm import AtmCell, VcAddress
+
+VC = VcAddress(0, 100)
+
+
+def corrupt(cell: AtmCell, byte: int = 10) -> AtmCell:
+    payload = bytearray(cell.payload)
+    payload[byte] ^= 0x01
+    return AtmCell(
+        vpi=cell.vpi, vci=cell.vci, payload=bytes(payload), pti=cell.pti
+    )
+
+
+class TestCpcsFraming:
+    def test_pdu_is_multiple_of_48(self):
+        for size in (0, 1, 39, 40, 41, 48, 100):
+            assert len(build_cpcs_pdu(b"x" * size)) % 48 == 0
+
+    def test_minimum_one_cell(self):
+        assert len(build_cpcs_pdu(b"")) == 48
+
+    def test_trailer_fields_roundtrip(self):
+        sdu, uu, cpi = parse_cpcs_pdu(build_cpcs_pdu(b"hello", uu=9, cpi=3))
+        assert (sdu, uu, cpi) == (b"hello", 9, 3)
+
+    def test_oversize_sdu_rejected(self):
+        with pytest.raises(AalError):
+            build_cpcs_pdu(bytes(AAL5_MAX_SDU + 1))
+
+    def test_bad_uu_rejected(self):
+        with pytest.raises(AalError):
+            build_cpcs_pdu(b"", uu=256)
+
+    def test_crc_error_classified(self):
+        pdu = bytearray(build_cpcs_pdu(b"payload"))
+        pdu[0] ^= 0xFF
+        with pytest.raises(CpcsCrcError):
+            parse_cpcs_pdu(bytes(pdu))
+
+    def test_non_multiple_length_classified(self):
+        with pytest.raises(CpcsLengthError):
+            parse_cpcs_pdu(b"\x00" * 47)
+
+    def test_cells_for_sdu(self):
+        assert cells_for_sdu(0) == 1
+        assert cells_for_sdu(40) == 1
+        assert cells_for_sdu(41) == 2
+        assert cells_for_sdu(9180) == 192
+        with pytest.raises(AalError):
+            cells_for_sdu(-1)
+
+
+class TestSegmentation:
+    def test_only_last_cell_marked(self):
+        cells = Aal5Segmenter(VC).segment(b"a" * 200)
+        assert [c.end_of_frame for c in cells] == [False] * (len(cells) - 1) + [True]
+
+    def test_cells_carry_vc_address(self):
+        cells = Aal5Segmenter(VC).segment(b"data")
+        assert all((c.vpi, c.vci) == (VC.vpi, VC.vci) for c in cells)
+
+    def test_counters(self):
+        seg = Aal5Segmenter(VC)
+        seg.segment(b"a" * 100)
+        seg.segment(b"b" * 10)
+        assert seg.pdus_segmented == 2
+        assert seg.cells_produced == 4  # 3 + 1
+
+
+class TestReassembly:
+    @pytest.mark.parametrize("size", [0, 1, 40, 41, 48, 96, 1000, 9180])
+    def test_roundtrip(self, size):
+        seg, ras = Aal5Segmenter(VC), Aal5Reassembler()
+        sdu = bytes(i % 251 for i in range(size))
+        out = None
+        for cell in seg.segment(sdu):
+            out = ras.receive_cell(cell, now=1.0)
+        assert out is not None
+        assert out.sdu == sdu
+        assert out.vc == VC
+        assert out.completed_at == 1.0
+
+    def test_interleaved_vcs_reassemble_independently(self):
+        vcs = [VcAddress(0, 100 + i) for i in range(4)]
+        segs = [Aal5Segmenter(vc) for vc in vcs]
+        ras = Aal5Reassembler()
+        streams = [seg.segment(bytes([i]) * (100 + i)) for i, seg in enumerate(segs)]
+        results = {}
+        for slot in range(max(len(s) for s in streams)):
+            for i, stream in enumerate(streams):
+                if slot < len(stream):
+                    out = ras.receive_cell(stream[slot])
+                    if out:
+                        results[out.vc] = out.sdu
+        assert results == {
+            vc: bytes([i]) * (100 + i) for i, vc in enumerate(vcs)
+        }
+
+    def test_delivery_callback(self):
+        delivered = []
+        ras = Aal5Reassembler(deliver=delivered.append)
+        for cell in Aal5Segmenter(VC).segment(b"payload"):
+            ras.receive_cell(cell)
+        assert len(delivered) == 1
+        assert delivered[0].sdu == b"payload"
+
+    def test_corrupted_cell_fails_crc(self):
+        seg, ras = Aal5Segmenter(VC), Aal5Reassembler()
+        cells = seg.segment(b"x" * 200)
+        cells[1] = corrupt(cells[1])
+        for cell in cells:
+            assert ras.receive_cell(cell) is None
+        assert ras.stats.failure_count(ReassemblyFailure.CRC) == 1
+
+    def test_lost_middle_cell_detected(self):
+        seg, ras = Aal5Segmenter(VC), Aal5Reassembler()
+        cells = seg.segment(b"y" * 300)
+        for cell in cells[:2] + cells[3:]:
+            assert ras.receive_cell(cell) is None
+        assert ras.stats.pdus_discarded == 1
+
+    def test_lost_eof_merges_and_discards_both(self):
+        seg, ras = Aal5Segmenter(VC), Aal5Reassembler()
+        first = seg.segment(b"a" * 100)
+        second = seg.segment(b"b" * 100)
+        for cell in first[:-1] + second:  # EOF of the first PDU lost
+            result = ras.receive_cell(cell)
+        assert result is None
+        assert ras.stats.pdus_discarded == 1
+        assert ras.stats.pdus_delivered == 0
+
+    def test_stream_recovers_after_merge(self):
+        seg, ras = Aal5Segmenter(VC), Aal5Reassembler()
+        ruined = seg.segment(b"a" * 100)[:-1]
+        for cell in ruined + seg.segment(b"b" * 50):
+            last = ras.receive_cell(cell)
+        assert last is None  # merged PDU discarded
+        out = None
+        for cell in seg.segment(b"clean"):
+            out = ras.receive_cell(cell)
+        assert out is not None and out.sdu == b"clean"
+
+    def test_oversize_context_discarded(self):
+        ras = Aal5Reassembler(max_cells=3)
+        cells = Aal5Segmenter(VC).segment(b"z" * 48 * 5)
+        for cell in cells:
+            assert ras.receive_cell(cell) is None
+        assert ras.stats.failure_count(ReassemblyFailure.OVERSIZE) == 1
+
+    def test_abort_context(self):
+        seg, ras = Aal5Segmenter(VC), Aal5Reassembler()
+        for cell in seg.segment(b"q" * 200)[:-1]:
+            ras.receive_cell(cell)
+        assert ras.has_context(VC)
+        assert ras.abort_context(VC, ReassemblyFailure.TIMEOUT)
+        assert not ras.has_context(VC)
+        assert ras.stats.failure_count(ReassemblyFailure.TIMEOUT) == 1
+        assert not ras.abort_context(VC, ReassemblyFailure.TIMEOUT)
+
+    def test_context_age(self):
+        seg, ras = Aal5Segmenter(VC), Aal5Reassembler()
+        cells = seg.segment(b"q" * 200)
+        ras.receive_cell(cells[0], now=5.0)
+        assert ras.context_age(VC, now=7.5) == pytest.approx(2.5)
+        assert ras.context_age(VcAddress(0, 999), now=7.5) is None
+
+    def test_context_cells(self):
+        seg, ras = Aal5Segmenter(VC), Aal5Reassembler()
+        cells = seg.segment(b"q" * 200)
+        for cell in cells[:3]:
+            ras.receive_cell(cell)
+        assert ras.context_cells(VC) == 3
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.binary(max_size=2000), st.integers(0, 255))
+    def test_roundtrip_property(self, sdu, uu):
+        seg, ras = Aal5Segmenter(VC), Aal5Reassembler()
+        out = None
+        for cell in seg.segment(sdu, uu=uu):
+            out = ras.receive_cell(cell)
+        assert out is not None
+        assert out.sdu == sdu and out.user_indication == uu
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.binary(min_size=150, max_size=500),
+        st.integers(0, 3),
+    )
+    def test_any_single_lost_cell_never_delivers_wrong_data(self, sdu, drop):
+        seg, ras = Aal5Segmenter(VC), Aal5Reassembler()
+        cells = seg.segment(sdu)
+        drop = drop % len(cells)
+        survivors = cells[:drop] + cells[drop + 1 :]
+        outputs = [ras.receive_cell(c) for c in survivors]
+        delivered = [o for o in outputs if o is not None]
+        # Either nothing delivered, or (never) the wrong bytes.
+        assert all(d.sdu == sdu for d in delivered)
+        assert not delivered

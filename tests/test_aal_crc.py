@@ -1,0 +1,83 @@
+"""CRC engines: table vs bit-serial agreement, residues, known vectors."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.aal.crc import CRC32_AAL5, CrcAlgorithm, crc10
+
+
+class TestCrc32:
+    def test_known_vector_123456789(self):
+        # The check value of the CRC-32/BZIP2 parameterisation (MSB-first,
+        # init all-ones, final complement) for "123456789".
+        assert CRC32_AAL5.compute(b"123456789") == 0xFC891918
+
+    def test_table_matches_bit_serial(self):
+        data = b"the quick brown fox jumps over the lazy dog"
+        assert CRC32_AAL5.compute(data) == CRC32_AAL5.bitwise_reference(data)
+
+    @given(st.binary(max_size=200))
+    def test_table_matches_bit_serial_property(self, data):
+        assert CRC32_AAL5.compute(data) == CRC32_AAL5.bitwise_reference(data)
+
+    @given(st.binary(max_size=200))
+    def test_append_then_verify(self, data):
+        assert CRC32_AAL5.residue_ok(CRC32_AAL5.append(data))
+
+    @given(st.binary(min_size=1, max_size=100), st.integers(0, 7))
+    def test_single_bit_flip_detected(self, data, bit):
+        message = CRC32_AAL5.append(data)
+        corrupted = bytearray(message)
+        corrupted[0] ^= 0x80 >> bit
+        assert not CRC32_AAL5.residue_ok(bytes(corrupted))
+
+    def test_incremental_equals_one_shot(self):
+        data = b"abcdefghij" * 20
+        state = CRC32_AAL5.start()
+        for i in range(0, len(data), 7):
+            state = CRC32_AAL5.update(state, data[i : i + 7])
+        assert CRC32_AAL5.finish(state) == CRC32_AAL5.compute(data)
+
+    def test_short_message_residue_fails(self):
+        assert not CRC32_AAL5.residue_ok(b"ab")
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            CrcAlgorithm("bad", 4, 0x3, 0, 0)
+
+
+class TestCrc10:
+    def test_zero_message_zero_residue(self):
+        assert crc10(bytes(10)) == 0
+
+    def test_residue_zero_after_embedding(self):
+        # Emulate the SAR convention: body with zeroed 10-bit CRC field,
+        # compute, OR in, verify residue 0.
+        body = bytearray(b"\x12\x34" + bytes(44) + b"\x00\x00")
+        body[-2] |= 0xB0 >> 4 << 4  # some LI bits in the top of the field
+        remainder = crc10(bytes(body))
+        trailer = int.from_bytes(body[-2:], "big") | remainder
+        full = bytes(body[:-2]) + trailer.to_bytes(2, "big")
+        assert crc10(full) == 0
+
+    def test_detects_corruption(self):
+        body = b"\x10\x05" + bytes(44) + b"\x00\x00"
+        remainder = crc10(body)
+        full = body[:-2] + remainder.to_bytes(2, "big")
+        corrupted = bytearray(full)
+        corrupted[10] ^= 0x40
+        assert crc10(bytes(corrupted)) != 0
+
+    @given(st.binary(min_size=2, max_size=64))
+    def test_embedding_property(self, body):
+        # Zero the last 10 bits, embed the residue, check residue 0.
+        data = bytearray(body)
+        trailer = int.from_bytes(data[-2:], "big") & 0xFC00
+        data[-2:] = trailer.to_bytes(2, "big")
+        remainder = crc10(bytes(data))
+        data[-2:] = (trailer | remainder).to_bytes(2, "big")
+        assert crc10(bytes(data)) == 0
+
+    def test_result_is_ten_bits(self):
+        for payload in (b"", b"\xff" * 48, b"\x00\x01\x02"):
+            assert 0 <= crc10(payload) <= 0x3FF

@@ -1,0 +1,106 @@
+"""Reassembly timer wheel."""
+
+import pytest
+
+from repro.aal import ReassemblyTimerWheel
+
+
+class TestTimerWheel:
+    def test_expires_stale_key(self, sim):
+        expired = []
+        wheel = ReassemblyTimerWheel(
+            sim, timeout=0.5, tick=0.1, on_expire=expired.append
+        )
+        wheel.arm("vc-1")
+        wheel.start()
+        sim.run(until=1.0)
+        wheel.stop()
+        assert expired == ["vc-1"]
+        assert wheel.expirations.count == 1
+
+    def test_disarm_prevents_expiry(self, sim):
+        expired = []
+        wheel = ReassemblyTimerWheel(
+            sim, timeout=0.5, tick=0.1, on_expire=expired.append
+        )
+        wheel.arm("vc-1")
+        assert wheel.disarm("vc-1")
+        wheel.start()
+        sim.run(until=1.0)
+        wheel.stop()
+        assert expired == []
+
+    def test_disarm_unknown_returns_false(self, sim):
+        wheel = ReassemblyTimerWheel(sim, 0.5, 0.1, on_expire=lambda k: None)
+        assert not wheel.disarm("nope")
+
+    def test_touch_slides_deadline(self, sim):
+        expired = []
+        wheel = ReassemblyTimerWheel(
+            sim, timeout=0.5, tick=0.05, on_expire=expired.append
+        )
+        wheel.arm("vc-1")
+        wheel.start()
+
+        def toucher():
+            for _ in range(10):
+                yield sim.timeout(0.2)
+                wheel.touch("vc-1")
+
+        sim.process(toucher())
+        sim.run(until=1.5)
+        assert expired == []  # kept alive past its original deadline
+        sim.run(until=3.5)
+        wheel.stop()
+        assert expired == ["vc-1"]  # expires once touching stops
+
+    def test_expiry_precision_is_one_tick(self, sim):
+        expired_at = []
+        wheel = ReassemblyTimerWheel(
+            sim, timeout=0.5, tick=0.1, on_expire=lambda k: expired_at.append(sim.now)
+        )
+        wheel.arm("k")
+        wheel.start()
+        sim.run(until=2.0)
+        wheel.stop()
+        assert 0.5 <= expired_at[0] <= 0.6 + 1e-9
+
+    def test_rearm_from_callback_is_safe(self, sim):
+        count = []
+
+        def expire(key):
+            count.append(key)
+            if len(count) < 3:
+                wheel.arm(key)
+
+        wheel = ReassemblyTimerWheel(sim, timeout=0.2, tick=0.05, on_expire=expire)
+        wheel.arm("k")
+        wheel.start()
+        sim.run(until=2.0)
+        wheel.stop()
+        assert count == ["k", "k", "k"]
+
+    def test_manual_sweep(self, sim):
+        expired = []
+        wheel = ReassemblyTimerWheel(
+            sim, timeout=0.1, tick=10.0, on_expire=expired.append
+        )
+        wheel.arm("a")
+        sim.timeout(0.2)
+        sim.run()
+        assert wheel.sweep() == 1
+        assert expired == ["a"]
+
+    def test_len_tracks_armed_keys(self, sim):
+        wheel = ReassemblyTimerWheel(sim, 0.5, 0.1, on_expire=lambda k: None)
+        wheel.arm("a")
+        wheel.arm("b")
+        assert len(wheel) == 2
+        wheel.disarm("a")
+        assert len(wheel) == 1
+
+    def test_validation(self, sim):
+        with pytest.raises(ValueError):
+            ReassemblyTimerWheel(sim, timeout=0.0, tick=0.1, on_expire=lambda k: None)
+        with pytest.raises(ValueError):
+            ReassemblyTimerWheel(sim, timeout=1.0, tick=0.0, on_expire=lambda k: None)

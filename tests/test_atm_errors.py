@@ -1,0 +1,101 @@
+"""Loss and corruption models: statistics and burst structure."""
+
+import random
+
+import pytest
+
+from repro.atm import AtmCell, BitErrorModel, GilbertElliottLoss, UniformLoss
+
+PAYLOAD = bytes(48)
+
+
+def cell():
+    return AtmCell(vpi=0, vci=100, payload=PAYLOAD)
+
+
+class TestUniformLoss:
+    def test_rate_converges(self, rng):
+        model = UniformLoss(0.2, rng)
+        n = 10_000
+        drops = sum(model.should_drop(cell(), 0.0) for _ in range(n))
+        assert drops / n == pytest.approx(0.2, abs=0.02)
+        assert model.observed_rate == pytest.approx(drops / n)
+
+    def test_zero_probability_never_drops(self, rng):
+        model = UniformLoss(0.0, rng)
+        assert not any(model.should_drop(cell(), 0.0) for _ in range(100))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UniformLoss(1.5)
+
+
+class TestGilbertElliott:
+    def test_long_run_rate_matches_steady_state(self, rng):
+        model = GilbertElliottLoss(
+            p_good_to_bad=0.01, p_bad_to_good=0.2, loss_in_bad=1.0, rng=rng
+        )
+        n = 60_000
+        drops = sum(model.should_drop(cell(), 0.0) for _ in range(n))
+        assert drops / n == pytest.approx(model.steady_state_loss, rel=0.15)
+
+    def test_losses_are_bursty(self, rng):
+        model = GilbertElliottLoss(
+            p_good_to_bad=0.002, p_bad_to_good=0.25, loss_in_bad=1.0, rng=rng
+        )
+        outcomes = [model.should_drop(cell(), 0.0) for _ in range(60_000)]
+        # Count loss runs; with burst loss, mean run length >> 1.
+        runs, current = [], 0
+        for dropped in outcomes:
+            if dropped:
+                current += 1
+            elif current:
+                runs.append(current)
+                current = 0
+        assert runs, "expected some loss events"
+        mean_run = sum(runs) / len(runs)
+        assert mean_run > 1.5  # uniform loss at same rate would be ~1.0
+
+    def test_steady_state_formula(self):
+        model = GilbertElliottLoss(0.1, 0.3, loss_in_bad=1.0)
+        assert model.steady_state_loss == pytest.approx(0.1 / 0.4)
+
+    def test_degenerate_chain(self):
+        model = GilbertElliottLoss(0.0, 0.0, loss_in_bad=1.0)
+        assert model.steady_state_loss == 0.0  # starts (and stays) GOOD
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GilbertElliottLoss(1.5, 0.5)
+
+
+class TestBitError:
+    def test_corruption_flips_exactly_one_bit(self):
+        model = BitErrorModel(1.0, random.Random(1))
+        original = cell()
+        corrupted = model.maybe_corrupt(original)
+        differing_bits = sum(
+            bin(a ^ b).count("1")
+            for a, b in zip(original.payload, corrupted.payload)
+        )
+        assert differing_bits == 1
+        assert corrupted.meta.get("corrupted")
+
+    def test_zero_probability_passthrough(self):
+        model = BitErrorModel(0.0)
+        original = cell()
+        assert model.maybe_corrupt(original) is original
+
+    def test_header_untouched(self):
+        model = BitErrorModel(1.0, random.Random(2))
+        original = cell()
+        corrupted = model.maybe_corrupt(original)
+        assert (corrupted.vpi, corrupted.vci, corrupted.pti) == (
+            original.vpi,
+            original.vci,
+            original.pti,
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BitErrorModel(-0.1)

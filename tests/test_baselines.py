@@ -1,0 +1,182 @@
+"""Baseline architectures: host-SAR, hardwired, shared-engine."""
+
+import pytest
+
+from repro.atm import PhysicalLink, STS3C_155, STS12C_622
+from repro.baselines import (
+    HARDWIRED_RX_COSTS,
+    HARDWIRED_TX_COSTS,
+    HostSarConfig,
+    HostSarInterface,
+    SharedEngineClock,
+    hardwired_config,
+    share_engine,
+)
+from repro.nic import (
+    CellPosition,
+    HostNetworkInterface,
+    I960_25MHZ,
+    RxCostModel,
+    TxCostModel,
+    aurora_oc12,
+    connect,
+)
+from repro.workloads.generators import make_payload
+
+
+def build_sar_pair(sim, config=None):
+    config = config if config is not None else HostSarConfig()
+    tx = HostSarInterface(sim, config, name="tx")
+    rx = HostSarInterface(sim, config, name="rx")
+    link = PhysicalLink(sim, config.link, sink=rx.rx_input)
+    tx.attach_tx_link(link)
+    vc = tx.open_vc()
+    rx.open_vc(address=vc.address)
+    tx.start()
+    return tx, rx, vc.address
+
+
+class TestHostSarFunctional:
+    def test_transfer_roundtrip(self, sim):
+        tx, rx, vc = build_sar_pair(sim)
+        received = []
+        rx.on_pdu = received.append
+        payload = make_payload(1500)
+
+        def sender():
+            yield tx.send(vc, payload)
+
+        sim.process(sender())
+        sim.run(until=0.1)
+        assert len(received) == 1
+        assert received[0].sdu == payload
+
+    def test_per_cell_interrupts(self, sim):
+        tx, rx, vc = build_sar_pair(sim)
+
+        def sender():
+            yield tx.send(vc, make_payload(1500))  # 32 cells
+
+        sim.process(sender())
+        sim.run(until=0.1)
+        assert rx.interrupts.raised.count == 32
+
+    def test_host_cycles_scale_with_cells(self, sim):
+        tx, rx, vc = build_sar_pair(sim)
+
+        def sender():
+            yield tx.send(vc, make_payload(9180))
+
+        sim.process(sender())
+        sim.run(until=0.2)
+        # Receiving 192 cells in software costs well over 100 cycles/cell.
+        assert rx.cpu.total_cycles > 192 * 100
+
+    def test_unknown_vc_ignored(self, sim):
+        config = HostSarConfig()
+        rx = HostSarInterface(sim, config, name="rx")
+        from repro.aal.aal5 import Aal5Segmenter
+        from repro.atm import VcAddress
+
+        for cell in Aal5Segmenter(VcAddress(0, 500)).segment(b"orphan"):
+            rx.receive_cell(cell)
+        sim.run(until=0.01)
+        assert rx.pdus_received.count == 0
+
+    def test_send_requires_open_vc(self, sim):
+        from repro.atm import VcAddress
+
+        tx = HostSarInterface(sim, HostSarConfig(), name="tx")
+        with pytest.raises(ValueError):
+            tx.send(VcAddress(0, 999), b"x")
+
+    def test_host_cycles_per_pdu_readout(self, sim):
+        tx, rx, vc = build_sar_pair(sim)
+
+        def sender():
+            yield tx.send(vc, make_payload(500))
+
+        sim.process(sender())
+        sim.run(until=0.1)
+        assert tx.host_cycles_per_pdu() > 0
+
+
+class TestHardwired:
+    def test_budgets_are_tiny(self):
+        assert HARDWIRED_TX_COSTS.cell_cycles(CellPosition.MIDDLE) <= 4
+        assert HARDWIRED_RX_COSTS.cell_cycles(CellPosition.MIDDLE) <= 6
+
+    def test_config_overrides_engines_and_costs(self):
+        config = hardwired_config(STS12C_622)
+        assert config.tx_costs is HARDWIRED_TX_COSTS
+        assert config.link is STS12C_622
+        assert config.tx_engine.clock_hz == 40e6
+
+    def test_functionally_identical_transfer(self, sim):
+        a = HostNetworkInterface(sim, hardwired_config(STS3C_155), name="a")
+        b = HostNetworkInterface(sim, hardwired_config(STS3C_155), name="b")
+        connect(sim, a, b)
+        vc = a.open_vc()
+        b.open_vc(address=vc.address)
+        received = []
+        b.on_pdu = received.append
+        payload = make_payload(2000)
+        a.post(vc.address, payload)
+        sim.run(until=0.05)
+        assert received[0].sdu == payload
+
+    def test_hardwired_per_cell_clears_oc12_slot(self):
+        config = hardwired_config(STS12C_622)
+        per_cell = config.rx_engine.seconds_for(
+            config.rx_costs.cell_cycles(CellPosition.MIDDLE)
+        )
+        assert per_cell < STS12C_622.cell_time
+
+
+class TestSharedEngine:
+    def test_work_serialises_across_callers(self, sim):
+        clock = SharedEngineClock(sim, I960_25MHZ)
+        finish = []
+
+        def worker(name):
+            yield clock.work(2500)  # 100 us
+            finish.append((name, sim.now))
+
+        sim.process(worker("a"))
+        sim.process(worker("b"))
+        sim.run()
+        assert finish[0][1] == pytest.approx(100e-6)
+        assert finish[1][1] == pytest.approx(200e-6)
+        assert clock.contention_wait > 0
+
+    def test_share_engine_rebinds_both_pipelines(self, sim):
+        nic = HostNetworkInterface(sim, aurora_oc12(), name="n")
+        shared = share_engine(nic)
+        assert nic.tx_engine.clock is shared
+        assert nic.rx_engine.clock is shared
+        assert nic.tx_clock is shared
+
+    def test_shared_nic_still_transfers(self, sim):
+        a = HostNetworkInterface(sim, aurora_oc12(), name="a")
+        b = HostNetworkInterface(sim, aurora_oc12(), name="b")
+        share_engine(a)
+        share_engine(b)
+        connect(sim, a, b)
+        vc = a.open_vc()
+        b.open_vc(address=vc.address)
+        received = []
+        b.on_pdu = received.append
+        a.post(vc.address, make_payload(3000))
+        sim.run(until=0.05)
+        assert len(received) == 1
+
+    def test_utilization_accounted_once(self, sim):
+        clock = SharedEngineClock(sim, I960_25MHZ)
+
+        def worker():
+            yield clock.work(25_000)  # 1 ms
+
+        sim.process(worker())
+        sim.process(worker())
+        sim.run()
+        assert clock.utilization(sim.now) == pytest.approx(1.0)

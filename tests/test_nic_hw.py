@@ -1,0 +1,207 @@
+"""NIC hardware assists: FIFOs, CAM, buffer memory, descriptor rings."""
+
+import pytest
+
+from repro.atm import AtmCell
+from repro.nic import AdaptorBufferMemory, BufferMemorySpec, Cam, CellFifo
+from repro.nic.cam import CamFullError
+from repro.nic.descriptors import DescriptorRing, TxDescriptor
+from repro.atm.addressing import VcAddress
+
+PAYLOAD = bytes(48)
+
+
+def cell(vci=100):
+    return AtmCell(vpi=0, vci=vci, payload=PAYLOAD)
+
+
+class TestCellFifo:
+    def test_try_put_drops_when_full(self, sim):
+        fifo = CellFifo(sim, depth_cells=2)
+        assert fifo.try_put(cell())
+        assert fifo.try_put(cell())
+        assert not fifo.try_put(cell())
+        assert fifo.overflows.count == 1
+        assert fifo.loss_ratio == pytest.approx(1 / 3)
+
+    def test_blocking_put_stalls_producer(self, sim):
+        fifo = CellFifo(sim, depth_cells=1)
+        accepted = []
+
+        def producer():
+            yield fifo.put(cell())
+            accepted.append(sim.now)
+            yield fifo.put(cell())
+            accepted.append(sim.now)
+
+        def consumer():
+            yield sim.timeout(1.0)
+            yield fifo.get()
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert accepted == [0.0, 1.0]
+
+    def test_get_blocks_until_cell(self, sim):
+        fifo = CellFifo(sim, depth_cells=4)
+        got = []
+
+        def consumer():
+            c = yield fifo.get()
+            got.append((sim.now, c.vci))
+
+        def producer():
+            yield sim.timeout(0.5)
+            fifo.try_put(cell(vci=7))
+
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert got == [(0.5, 7)]
+
+    def test_try_get(self, sim):
+        fifo = CellFifo(sim, depth_cells=4)
+        assert fifo.try_get() is None
+        fifo.try_put(cell(vci=9))
+        assert fifo.try_get().vci == 9
+
+    def test_occupancy_tracking(self, sim):
+        fifo = CellFifo(sim, depth_cells=8)
+        for _ in range(5):
+            fifo.try_put(cell())
+        assert fifo.peak_occupancy == 5
+        assert len(fifo) == 5
+
+    def test_counters(self, sim):
+        fifo = CellFifo(sim, depth_cells=8)
+        fifo.try_put(cell())
+        fifo.try_put(cell())
+        fifo.try_get()
+        assert fifo.cells_in == 2
+        assert fifo.cells_out == 1
+
+    def test_validation(self, sim):
+        with pytest.raises(ValueError):
+            CellFifo(sim, depth_cells=0)
+
+
+class TestCam:
+    def test_install_lookup_remove(self):
+        cam = Cam(capacity=4)
+        cam.install(VcAddress(0, 100), "ctx")
+        assert cam.lookup(VcAddress(0, 100)) == "ctx"
+        assert cam.remove(VcAddress(0, 100)) == "ctx"
+        assert cam.lookup(VcAddress(0, 100)) is None
+
+    def test_capacity_enforced(self):
+        cam = Cam(capacity=2)
+        cam.install(VcAddress(0, 1), 1)
+        cam.install(VcAddress(0, 2), 2)
+        with pytest.raises(CamFullError):
+            cam.install(VcAddress(0, 3), 3)
+        assert cam.free_entries == 0
+
+    def test_reinstall_same_key_is_update(self):
+        cam = Cam(capacity=1)
+        cam.install("k", 1)
+        cam.install("k", 2)  # no CamFullError
+        assert cam.lookup("k") == 2
+
+    def test_hit_ratio(self):
+        cam = Cam(capacity=4)
+        cam.install("k", 1)
+        cam.lookup("k")
+        cam.lookup("miss")
+        assert cam.hits == 1 and cam.misses == 1
+        assert cam.hit_ratio == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Cam(capacity=0)
+
+
+class TestBufferMemory:
+    def spec(self, cells=100):
+        return BufferMemorySpec(capacity_cells=cells, width_bytes=4, clock_hz=25e6)
+
+    def test_allocate_and_release(self, sim):
+        mem = AdaptorBufferMemory(sim, self.spec())
+        assert mem.allocate("ctx", 10)
+        assert mem.used_cells == 10
+        assert mem.held_by("ctx") == 10
+        assert mem.release("ctx") == 10
+        assert mem.used_cells == 0
+
+    def test_exhaustion_counted(self, sim):
+        mem = AdaptorBufferMemory(sim, self.spec(cells=5))
+        assert mem.allocate("a", 5)
+        assert not mem.allocate("b", 1)
+        assert mem.allocation_failures == 1
+
+    def test_grow(self, sim):
+        mem = AdaptorBufferMemory(sim, self.spec())
+        mem.allocate("ctx", 1)
+        mem.grow("ctx")
+        assert mem.held_by("ctx") == 2
+
+    def test_bandwidth_ledger(self, sim):
+        mem = AdaptorBufferMemory(sim, self.spec())
+        mem.record_write(480)
+        mem.record_read(480)
+        sim.timeout(1e-3)
+        sim.run()
+        assert mem.required_bandwidth_bps(1e-3) == pytest.approx(960 * 8 / 1e-3)
+        assert mem.bandwidth_headroom(1e-3) > 0
+
+    def test_headroom_infinite_when_idle(self, sim):
+        mem = AdaptorBufferMemory(sim, self.spec())
+        assert mem.bandwidth_headroom(1.0) == float("inf")
+
+    def test_dual_port_doubles_bandwidth(self):
+        single = BufferMemorySpec(100, 4, 25e6, dual_ported=False)
+        dual = BufferMemorySpec(100, 4, 25e6, dual_ported=True)
+        assert dual.total_bandwidth_bps == 2 * single.total_bandwidth_bps
+
+    def test_validation(self, sim):
+        with pytest.raises(ValueError):
+            BufferMemorySpec(capacity_cells=0)
+        mem = AdaptorBufferMemory(sim, self.spec())
+        with pytest.raises(ValueError):
+            mem.allocate("x", -1)
+        with pytest.raises(ValueError):
+            mem.record_write(-1)
+
+
+class TestDescriptorRing:
+    def test_post_take_order(self, sim):
+        ring = DescriptorRing(sim, depth=4)
+        taken = []
+
+        def consumer():
+            for _ in range(2):
+                desc = yield ring.take()
+                taken.append(desc.pdu_id)
+
+        d1 = TxDescriptor(VcAddress(0, 100), b"a", posted_at=0.0)
+        d2 = TxDescriptor(VcAddress(0, 100), b"b", posted_at=0.0)
+        ring.try_post(d1)
+        ring.try_post(d2)
+        sim.process(consumer())
+        sim.run()
+        assert taken == [d1.pdu_id, d2.pdu_id]
+
+    def test_full_ring_backpressures(self, sim):
+        ring = DescriptorRing(sim, depth=1)
+        ring.try_post(TxDescriptor(VcAddress(0, 100), b"a", 0.0))
+        assert not ring.try_post(TxDescriptor(VcAddress(0, 100), b"b", 0.0))
+        assert ring.is_full
+
+    def test_pdu_ids_unique(self):
+        a = TxDescriptor(VcAddress(0, 100), b"", 0.0)
+        b = TxDescriptor(VcAddress(0, 100), b"", 0.0)
+        assert a.pdu_id != b.pdu_id
+
+    def test_validation(self, sim):
+        with pytest.raises(ValueError):
+            DescriptorRing(sim, depth=0)

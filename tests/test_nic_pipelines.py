@@ -1,0 +1,184 @@
+"""TX/RX pipeline behaviour in isolation."""
+
+import pytest
+
+from repro.aal.aal5 import Aal5Segmenter, cells_for_sdu
+from repro.atm import AtmCell, PhysicalLink, VcAddress
+from repro.nic import HostNetworkInterface, aurora_oc3
+from repro.nic.config import NicConfig
+from repro.workloads.generators import make_payload
+
+PAYLOAD = bytes(48)
+
+
+def build_nic(sim, config=None, name="nic"):
+    return HostNetworkInterface(
+        sim, config if config is not None else aurora_oc3(), name=name
+    )
+
+
+class TestTxPipeline:
+    def test_cells_reach_the_wire(self, sim):
+        nic = build_nic(sim)
+        wire = []
+        link = PhysicalLink(sim, nic.config.link, sink=wire.append)
+        nic.attach_tx_link(link)
+        vc = nic.open_vc()
+        nic.post(vc.address, b"x" * 200)
+        sim.run(until=0.01)
+        assert len(wire) == cells_for_sdu(200)
+        assert wire[-1].end_of_frame
+        assert all((c.vpi, c.vci) == tuple(vc.address) for c in wire)
+
+    def test_cells_carry_latency_metadata(self, sim):
+        nic = build_nic(sim)
+        wire = []
+        link = PhysicalLink(sim, nic.config.link, sink=wire.append)
+        nic.attach_tx_link(link)
+        vc = nic.open_vc()
+        nic.post(vc.address, b"x" * 50)
+        sim.run(until=0.01)
+        assert all("posted_at" in c.meta and "pdu_id" in c.meta for c in wire)
+
+    def test_send_to_unopened_vc_rejected(self, sim):
+        nic = build_nic(sim)
+        with pytest.raises(ValueError):
+            nic.send(VcAddress(0, 999), b"data")
+
+    def test_pdus_sent_in_order(self, sim):
+        nic = build_nic(sim)
+        wire = []
+        link = PhysicalLink(sim, nic.config.link, sink=wire.append)
+        nic.attach_tx_link(link)
+        vc = nic.open_vc()
+        for marker in (b"\x01", b"\x02", b"\x03"):
+            nic.post(vc.address, marker * 40)
+        sim.run(until=0.01)
+        firsts = [c.payload[0] for c in wire if c.end_of_frame]
+        assert firsts == [1, 2, 3]
+
+    def test_tx_stats(self, sim):
+        nic = build_nic(sim)
+        link = PhysicalLink(sim, nic.config.link, sink=lambda c: None)
+        nic.attach_tx_link(link)
+        vc = nic.open_vc()
+        nic.post(vc.address, b"x" * 100)
+        sim.run(until=0.01)
+        assert nic.tx_engine.pdus_sent.count == 1
+        assert nic.tx_engine.cells_sent.count == cells_for_sdu(100)
+        assert nic.tx_clock.total_cycles > 0
+
+    def test_engine_charges_expected_cycles(self, sim):
+        nic = build_nic(sim)
+        link = PhysicalLink(sim, nic.config.link, sink=lambda c: None)
+        nic.attach_tx_link(link)
+        vc = nic.open_vc()
+        size = 200
+        nic.post(vc.address, b"x" * size)
+        sim.run(until=0.01)
+        expected = nic.config.tx_costs.pdu_total_cycles(cells_for_sdu(size))
+        assert nic.tx_clock.total_cycles == pytest.approx(expected)
+
+
+class TestRxPipeline:
+    def feed(self, sim, nic, vc, sdu):
+        for cell in Aal5Segmenter(vc).segment(sdu):
+            nic.rx_engine.receive_cell(cell)
+
+    def test_delivers_pdu_to_host(self, sim):
+        nic = build_nic(sim)
+        received = []
+        nic.on_pdu = received.append
+        vc = nic.open_vc(address=VcAddress(0, 100))
+        nic.start()
+        self.feed(sim, nic, vc.address, b"payload-bytes")
+        sim.run(until=0.01)
+        assert len(received) == 1
+        assert received[0].sdu == b"payload-bytes"
+
+    def test_unknown_vc_cells_counted_and_dropped(self, sim):
+        nic = build_nic(sim)
+        received = []
+        nic.on_pdu = received.append
+        nic.start()
+        self.feed(sim, nic, VcAddress(0, 999), b"orphan")
+        sim.run(until=0.01)
+        assert received == []
+        assert nic.rx_engine.cells_unknown_vc.count == 1
+
+    def test_closed_vc_stops_reception(self, sim):
+        nic = build_nic(sim)
+        received = []
+        nic.on_pdu = received.append
+        vc = nic.open_vc(address=VcAddress(0, 100))
+        nic.start()
+        nic.close_vc(vc.address)
+        self.feed(sim, nic, VcAddress(0, 100), b"late")
+        sim.run(until=0.01)
+        assert received == []
+
+    def test_host_buffer_exhaustion_drops_pdus(self, sim):
+        from dataclasses import replace
+
+        config = replace(aurora_oc3(), rx_buffer_slots=1)
+        nic = build_nic(sim, config)
+        # Hold the only buffer hostage.
+        hostage = nic.rx_buffers.allocate()
+        assert hostage is not None
+        vc = nic.open_vc(address=VcAddress(0, 100))
+        nic.start()
+        self.feed(sim, nic, vc.address, b"data")
+        sim.run(until=0.01)
+        assert nic.rx_engine.pdus_no_host_buffer.count == 1
+
+    def test_reassembly_timeout_reclaims_context(self, sim):
+        nic = build_nic(sim)
+        vc = nic.open_vc(address=VcAddress(0, 100))
+        nic.start()
+        cells = Aal5Segmenter(vc.address).segment(b"x" * 300)
+        for cell in cells[:-1]:  # tail never arrives
+            nic.rx_engine.receive_cell(cell)
+        sim.run(until=0.05)
+        assert nic.rx_engine.reassembler.has_context(vc.address)
+        sim.run(until=1.0)
+        assert not nic.rx_engine.reassembler.has_context(vc.address)
+        assert nic.reassembly_timers.expirations.count == 1
+        assert nic.buffer_memory.used_cells == 0
+
+    def test_buffer_memory_reclaimed_after_delivery(self, sim):
+        nic = build_nic(sim)
+        vc = nic.open_vc(address=VcAddress(0, 100))
+        nic.start()
+        self.feed(sim, nic, vc.address, b"y" * 500)
+        sim.run(until=0.01)
+        assert nic.buffer_memory.used_cells == 0
+
+    def test_corrupted_pdu_counted_not_delivered(self, sim):
+        nic = build_nic(sim)
+        received = []
+        nic.on_pdu = received.append
+        vc = nic.open_vc(address=VcAddress(0, 100))
+        nic.start()
+        cells = Aal5Segmenter(vc.address).segment(make_payload(300))
+        bad = bytearray(cells[1].payload)
+        bad[0] ^= 1
+        cells[1] = AtmCell(
+            vpi=cells[1].vpi, vci=cells[1].vci, payload=bytes(bad), pti=cells[1].pti
+        )
+        for cell in cells:
+            nic.rx_engine.receive_cell(cell)
+        sim.run(until=0.01)
+        assert received == []
+        assert nic.stats().pdus_discarded == 1
+
+    def test_engine_charges_expected_cycles(self, sim):
+        nic = build_nic(sim)
+        vc = nic.open_vc(address=VcAddress(0, 100))
+        nic.start()
+        size = 500
+        self.feed(sim, nic, vc.address, b"z" * size)
+        sim.run(until=0.01)
+        expected = nic.config.rx_costs.pdu_total_cycles(
+            cells_for_sdu(size), cam_fitted=True, table_size=1
+        )
+        assert nic.rx_clock.cycles_by_tag["rx-cell"] == pytest.approx(expected)

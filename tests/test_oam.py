@@ -1,0 +1,148 @@
+"""OAM F5 loopback: codec, reflection hardware, end-to-end ping."""
+
+import pytest
+
+from repro.atm import AtmCell, VcAddress
+from repro.atm.cell import PTI_OAM_END_TO_END
+from repro.atm.oam import LOOP_ME, LOOPED, LoopbackCell, OamFormatError
+from repro.nic import HostNetworkInterface, aurora_oc3, connect
+
+
+class TestCodec:
+    def test_roundtrip(self):
+        original = LoopbackCell(
+            vc=VcAddress(0, 77),
+            correlation=0xDEADBEEF,
+            to_be_looped=True,
+            source_id=b"workstation1",
+        )
+        cell = original.encode()
+        assert cell.pti == PTI_OAM_END_TO_END
+        assert not cell.is_user_cell
+        assert LoopbackCell.decode(cell) == original
+
+    def test_reflection_clears_indication_keeps_tag(self):
+        probe = LoopbackCell(VcAddress(0, 1), correlation=42, to_be_looped=True)
+        reflection = probe.reflection()
+        assert not reflection.to_be_looped
+        assert reflection.correlation == 42
+
+    def test_crc_protects_payload(self):
+        cell = LoopbackCell(VcAddress(0, 1), 1, True).encode()
+        damaged = bytearray(cell.payload)
+        damaged[10] ^= 0x01
+        bad = AtmCell(
+            vpi=cell.vpi, vci=cell.vci, payload=bytes(damaged), pti=cell.pti
+        )
+        with pytest.raises(OamFormatError):
+            LoopbackCell.decode(bad)
+
+    def test_user_cell_rejected(self):
+        user = AtmCell(vpi=0, vci=1, payload=bytes(48), pti=0)
+        with pytest.raises(OamFormatError):
+            LoopbackCell.decode(user)
+
+    def test_indication_values(self):
+        assert LOOP_ME != LOOPED
+        cell = LoopbackCell(VcAddress(0, 1), 7, False).encode()
+        assert cell.payload[1] == LOOPED
+
+    def test_field_validation(self):
+        with pytest.raises(OamFormatError):
+            LoopbackCell(VcAddress(0, 1), -1, True).encode()
+        with pytest.raises(OamFormatError):
+            LoopbackCell(VcAddress(0, 1), 1, True, source_id=b"short").encode()
+
+
+class TestLoopbackPing:
+    def build(self, sim, propagation=0.0):
+        a = HostNetworkInterface(sim, aurora_oc3(), name="a")
+        b = HostNetworkInterface(sim, aurora_oc3(), name="b")
+        connect(sim, a, b, propagation_delay=propagation)
+        vc = a.open_vc()
+        b.open_vc(address=vc.address)
+        return a, b, vc.address
+
+    def test_ping_measures_rtt(self, sim):
+        a, b, vc = self.build(sim)
+        rtts = []
+
+        def pinger():
+            rtts.append((yield a.oam_ping(vc)))
+
+        sim.process(pinger())
+        sim.run(until=0.01)
+        assert len(rtts) == 1
+        # Two cell serializations + engine handling: a handful of us.
+        assert 4e-6 < rtts[0] < 50e-6
+        assert b.oam_reflections == 1
+
+    def test_propagation_shows_up_in_rtt(self, sim):
+        a, b, vc = self.build(sim, propagation=100e-6)
+        rtts = []
+
+        def pinger():
+            rtts.append((yield a.oam_ping(vc)))
+
+        sim.process(pinger())
+        sim.run(until=0.01)
+        assert rtts[0] > 200e-6
+
+    def test_ping_bypasses_both_hosts(self, sim):
+        a, b, vc = self.build(sim)
+
+        def pinger():
+            yield a.oam_ping(vc)
+
+        sim.process(pinger())
+        sim.run(until=0.01)
+        assert b.cpu.total_cycles == 0
+        assert b.interrupts.raised.count == 0
+
+    def test_oam_cells_do_not_disturb_reassembly(self, sim):
+        a, b, vc = self.build(sim)
+        received = []
+        b.on_pdu = received.append
+        payload = bytes(1000)
+
+        def mixed():
+            # Interleave a ping between data PDUs.
+            yield a.send(vc, payload)
+            yield a.oam_ping(vc)
+            yield a.send(vc, payload)
+
+        sim.process(mixed())
+        sim.run(until=0.02)
+        assert [c.sdu for c in received] == [payload, payload]
+        assert b.stats().pdus_discarded == 0
+
+    def test_ping_requires_open_vc(self, sim):
+        a, b, vc = self.build(sim)
+        with pytest.raises(ValueError):
+            a.oam_ping(VcAddress(0, 999))
+
+    def test_corrupted_oam_cell_counted(self, sim):
+        a, b, vc = self.build(sim)
+        cell = LoopbackCell(vc, 1, True).encode()
+        damaged = bytearray(cell.payload)
+        damaged[5] ^= 0xFF
+        b.rx_engine.receive_cell(
+            AtmCell(vpi=vc.vpi, vci=vc.vci, payload=bytes(damaged), pti=cell.pti)
+        )
+        b.start()
+        sim.run(until=0.01)
+        assert b.oam_bad_cells == 1
+        assert b.oam_reflections == 0
+
+    def test_concurrent_pings_resolve_by_correlation(self, sim):
+        a, b, vc = self.build(sim)
+        results = {}
+
+        def pinger(tag):
+            results[tag] = (yield a.oam_ping(vc))
+
+        for tag in ("x", "y", "z"):
+            sim.process(pinger(tag))
+        sim.run(until=0.01)
+        assert set(results) == {"x", "y", "z"}
+        assert all(r > 0 for r in results.values())

@@ -1,0 +1,155 @@
+"""Property-based invariants across the kernel and the data path.
+
+These tests drive randomised operation sequences through the core data
+structures and assert the conservation laws the rest of the system
+relies on: stores neither lose nor duplicate items, resources never
+exceed capacity, FIFOs conserve cells, buffer memory never goes
+negative, and the end-to-end SAR pipeline delivers exactly the bytes
+that were sent.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.atm import AtmCell
+from repro.nic import AdaptorBufferMemory, BufferMemorySpec, CellFifo
+from repro.sim import Resource, Simulator, Store
+
+
+class TestStoreConservation:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        ops=st.lists(
+            st.one_of(
+                st.tuples(st.just("put"), st.integers(0, 999)),
+                st.tuples(st.just("get"), st.just(0)),
+            ),
+            max_size=60,
+        ),
+        capacity=st.one_of(st.none(), st.integers(1, 8)),
+    )
+    def test_items_never_lost_or_duplicated(self, ops, capacity):
+        sim = Simulator()
+        store = Store(sim, capacity=capacity)
+        offered = []
+        accepted = []
+        taken = []
+        for op, value in ops:
+            if op == "put":
+                offered.append(value)
+                if store.try_put(value):
+                    accepted.append(value)
+            else:
+                ok, item = store.try_get()
+                if ok:
+                    taken.append(item)
+        # Everything taken was accepted, in FIFO order.
+        assert taken == accepted[: len(taken)]
+        # Whatever remains is the un-taken tail of the accepted stream.
+        remaining = []
+        while True:
+            ok, item = store.try_get()
+            if not ok:
+                break
+            remaining.append(item)
+        assert taken + remaining == accepted
+        # Capacity was never exceeded.
+        if capacity is not None:
+            assert store.peak_occupancy <= capacity
+
+
+class TestResourceInvariant:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        capacity=st.integers(1, 4),
+        holders=st.integers(1, 12),
+        hold_times=st.lists(
+            st.floats(0.001, 0.1), min_size=12, max_size=12
+        ),
+    )
+    def test_never_more_holders_than_capacity(self, capacity, holders, hold_times):
+        sim = Simulator()
+        resource = Resource(sim, capacity=capacity)
+        max_seen = [0]
+
+        def user(hold):
+            grant = resource.request()
+            yield grant
+            max_seen[0] = max(max_seen[0], resource.in_use)
+            yield sim.timeout(hold)
+            resource.release(grant)
+
+        for i in range(holders):
+            sim.process(user(hold_times[i]))
+        sim.run()
+        assert max_seen[0] <= capacity
+        assert resource.in_use == 0  # all released
+        assert resource.queue_length == 0
+
+
+class TestCellFifoConservation:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        depth=st.integers(1, 16),
+        n_cells=st.integers(0, 40),
+    )
+    def test_in_equals_out_plus_dropped(self, depth, n_cells):
+        sim = Simulator()
+        fifo = CellFifo(sim, depth_cells=depth)
+        payload = bytes(48)
+        accepted = 0
+        for i in range(n_cells):
+            if fifo.try_put(AtmCell(vpi=0, vci=32 + (i % 100), payload=payload)):
+                accepted += 1
+        drained = 0
+        while fifo.try_get() is not None:
+            drained += 1
+        assert accepted == drained
+        assert fifo.overflows.count == n_cells - accepted
+        assert accepted <= depth
+
+
+class TestBufferMemoryInvariant:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["alloc", "release"]),
+                st.integers(0, 5),  # owner id
+                st.integers(1, 30),  # cells
+            ),
+            max_size=40,
+        )
+    )
+    def test_occupancy_bounded_and_consistent(self, ops):
+        sim = Simulator()
+        memory = AdaptorBufferMemory(
+            sim, BufferMemorySpec(capacity_cells=64)
+        )
+        held: dict[int, int] = {}
+        for op, owner, cells in ops:
+            if op == "alloc":
+                if memory.allocate(owner, cells):
+                    held[owner] = held.get(owner, 0) + cells
+            else:
+                freed = memory.release(owner)
+                assert freed == held.pop(owner, 0)
+        assert memory.used_cells == sum(held.values())
+        assert 0 <= memory.used_cells <= 64
+
+
+class TestEndToEndConservation:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        sizes=st.lists(st.integers(1, 4000), min_size=1, max_size=6),
+    )
+    def test_pipeline_delivers_exactly_what_was_sent(self, sizes):
+        from repro.nic import aurora_oc3
+        from repro.workloads.scenarios import build_point_to_point
+
+        sim = Simulator()
+        scenario = build_point_to_point(sim, aurora_oc3())
+        payloads = [bytes([i % 256]) * size for i, size in enumerate(sizes)]
+        for payload in payloads:
+            scenario.sender.post(scenario.vc, payload)
+        sim.run(until=0.2)
+        assert [c.sdu for c in scenario.received] == payloads

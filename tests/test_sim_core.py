@@ -1,0 +1,171 @@
+"""Kernel semantics: clock, event lifecycle, scheduling order."""
+
+import pytest
+
+from repro.sim import SimulationError, Simulator
+from repro.sim.core import all_processed
+
+
+class TestClock:
+    def test_starts_at_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_run_until_advances_exactly_to_until(self, sim):
+        sim.timeout(0.25)
+        sim.run(until=1.0)
+        assert sim.now == 1.0
+
+    def test_run_until_past_is_rejected(self, sim):
+        sim.timeout(5.0)
+        sim.run(until=2.0)
+        with pytest.raises(SimulationError):
+            sim.run(until=1.0)
+
+    def test_run_without_until_drains_queue(self, sim):
+        sim.timeout(3.0)
+        sim.run()
+        assert sim.now == 3.0
+        assert sim.pending_events() == 0
+
+    def test_events_beyond_until_stay_queued(self, sim):
+        sim.timeout(5.0)
+        sim.run(until=1.0)
+        assert sim.pending_events() == 1
+        assert sim.peek() == 5.0
+
+    def test_peek_empty_queue_is_inf(self, sim):
+        assert sim.peek() == float("inf")
+
+
+class TestEventLifecycle:
+    def test_fresh_event_is_pending(self, sim):
+        ev = sim.event()
+        assert not ev.triggered
+        assert not ev.processed
+
+    def test_trigger_then_run_processes(self, sim):
+        ev = sim.event()
+        ev.trigger("payload")
+        assert ev.triggered and not ev.processed
+        sim.run()
+        assert ev.processed
+        assert ev.value == "payload"
+
+    def test_double_trigger_rejected(self, sim):
+        ev = sim.event()
+        ev.trigger()
+        with pytest.raises(SimulationError):
+            ev.trigger()
+
+    def test_fail_then_value_raises(self, sim):
+        ev = sim.event()
+        ev.fail(ValueError("boom"))
+        sim.run()
+        with pytest.raises(ValueError, match="boom"):
+            _ = ev.value
+
+    def test_fail_requires_exception_instance(self, sim):
+        ev = sim.event()
+        with pytest.raises(TypeError):
+            ev.fail("not an exception")
+
+    def test_value_before_trigger_raises(self, sim):
+        ev = sim.event()
+        with pytest.raises(SimulationError):
+            _ = ev.value
+
+    def test_ok_reflects_success(self, sim):
+        good, bad = sim.event(), sim.event()
+        good.trigger(1)
+        bad.fail(RuntimeError())
+        assert good.ok
+        assert not bad.ok
+
+    def test_callback_after_processed_runs_immediately(self, sim):
+        ev = sim.event()
+        ev.trigger(7)
+        sim.run()
+        seen = []
+        ev.add_callback(lambda e: seen.append(e.value))
+        assert seen == [7]
+
+    def test_delayed_trigger(self, sim):
+        ev = sim.event()
+        ev.trigger("late", delay=2.5)
+        times = []
+        ev.add_callback(lambda e: times.append(sim.now))
+        sim.run()
+        assert times == [2.5]
+
+
+class TestOrdering:
+    def test_fifo_among_equal_times(self, sim):
+        order = []
+        for label in "abc":
+            sim.schedule_call(1.0, order.append, label)
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_time_order_respected(self, sim):
+        order = []
+        sim.schedule_call(2.0, order.append, "late")
+        sim.schedule_call(1.0, order.append, "early")
+        sim.run()
+        assert order == ["early", "late"]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule_call(-0.1, lambda: None)
+
+    def test_timeout_negative_delay_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.timeout(-1.0)
+
+    def test_step_processes_one_event(self, sim):
+        hits = []
+        sim.schedule_call(1.0, hits.append, 1)
+        sim.schedule_call(2.0, hits.append, 2)
+        sim.step()
+        assert hits == [1]
+        assert sim.now == 1.0
+
+
+class TestRunGuards:
+    def test_run_until_idle_counts_events(self, sim):
+        for _ in range(5):
+            sim.timeout(1.0)
+        assert sim.run_until_idle() == 5
+
+    def test_run_until_idle_guard_trips(self, sim):
+        def forever():
+            while True:
+                yield sim.timeout(1.0)
+
+        sim.process(forever())
+        with pytest.raises(SimulationError):
+            sim.run_until_idle(max_events=50)
+
+    def test_all_processed_helper(self, sim):
+        events = [sim.timeout(1.0), sim.timeout(2.0)]
+        assert not all_processed(events)
+        sim.run()
+        assert all_processed(events)
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_traces(self):
+        def trace():
+            sim = Simulator()
+            log = []
+
+            def proc(name, period):
+                while sim.now < 1.0:
+                    yield sim.timeout(period)
+                    log.append((round(sim.now, 9), name))
+
+            sim.process(proc("a", 0.13))
+            sim.process(proc("b", 0.07))
+            sim.run(until=1.0)
+            return log
+
+        assert trace() == trace()

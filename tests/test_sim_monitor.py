@@ -1,0 +1,203 @@
+"""Statistics accumulators: numerical behaviour and edge cases."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import (
+    Counter,
+    Histogram,
+    SeriesRecorder,
+    Simulator,
+    ThroughputMeter,
+    TimeWeightedStat,
+    WelfordStat,
+)
+from repro.sim.monitor import summarize
+
+
+class TestCounter:
+    def test_increment(self):
+        c = Counter("x")
+        c.increment()
+        c.increment(4)
+        assert c.count == 5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Counter().increment(-1)
+
+
+class TestWelford:
+    def test_mean_and_variance_match_direct_formulas(self):
+        data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        stat = summarize(data)
+        mean = sum(data) / len(data)
+        var = sum((x - mean) ** 2 for x in data) / (len(data) - 1)
+        assert stat.mean == pytest.approx(mean)
+        assert stat.variance == pytest.approx(var)
+        assert stat.minimum == 2.0
+        assert stat.maximum == 9.0
+
+    def test_empty_stat_is_safe(self):
+        stat = WelfordStat()
+        assert stat.mean == 0.0
+        assert stat.variance == 0.0
+        assert stat.stdev == 0.0
+
+    def test_single_sample(self):
+        stat = summarize([3.0])
+        assert stat.mean == 3.0
+        assert stat.variance == 0.0
+
+    def test_merge_equals_single_pass(self):
+        a_data = [1.0, 2.0, 3.0]
+        b_data = [10.0, 20.0]
+        merged = summarize(a_data).merge(summarize(b_data))
+        direct = summarize(a_data + b_data)
+        assert merged.n == direct.n
+        assert merged.mean == pytest.approx(direct.mean)
+        assert merged.variance == pytest.approx(direct.variance)
+
+    def test_merge_with_empty(self):
+        stat = summarize([1.0, 2.0]).merge(WelfordStat())
+        assert stat.n == 2
+        assert stat.mean == pytest.approx(1.5)
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=50))
+    def test_mean_bounded_by_extremes(self, xs):
+        stat = summarize(xs)
+        assert min(xs) - 1e-6 <= stat.mean <= max(xs) + 1e-6
+
+    @given(
+        st.lists(st.floats(-1e3, 1e3), min_size=1, max_size=30),
+        st.lists(st.floats(-1e3, 1e3), min_size=1, max_size=30),
+    )
+    def test_merge_commutes_on_count_and_mean(self, xs, ys):
+        ab = summarize(xs).merge(summarize(ys))
+        ba = summarize(ys).merge(summarize(xs))
+        assert ab.n == ba.n
+        assert ab.mean == pytest.approx(ba.mean, abs=1e-6)
+
+
+class TestTimeWeighted:
+    def test_piecewise_constant_mean(self):
+        stat = TimeWeightedStat(0.0, 0.0)
+        stat.record(2.0, 10.0)  # level 0 for 2s
+        stat.record(4.0, 0.0)  # level 10 for 2s
+        assert stat.mean(4.0) == pytest.approx(5.0)
+
+    def test_mean_extends_last_level(self):
+        stat = TimeWeightedStat(0.0, 4.0)
+        assert stat.mean(10.0) == pytest.approx(4.0)
+
+    def test_maximum_tracked(self):
+        stat = TimeWeightedStat()
+        stat.record(1.0, 7.0)
+        stat.record(2.0, 3.0)
+        assert stat.maximum == 7.0
+
+    def test_time_backwards_rejected(self):
+        stat = TimeWeightedStat()
+        stat.record(5.0, 1.0)
+        with pytest.raises(ValueError):
+            stat.record(4.0, 2.0)
+
+    def test_zero_span_returns_current(self):
+        stat = TimeWeightedStat(1.0, 9.0)
+        assert stat.mean(1.0) == 9.0
+
+
+class TestHistogram:
+    def test_binning(self):
+        h = Histogram([0.0, 1.0, 2.0, 3.0])
+        for x in (0.5, 1.5, 1.6, 2.9):
+            h.add(x)
+        assert h.counts == [1, 2, 1]
+
+    def test_under_and_overflow(self):
+        h = Histogram([0.0, 1.0])
+        h.add(-5.0)
+        h.add(10.0)
+        h.add(1.0)  # right edge is exclusive -> overflow
+        assert h.underflow == 1
+        assert h.overflow == 2
+
+    def test_linear_constructor(self):
+        h = Histogram.linear(0.0, 10.0, 5)
+        assert len(h.edges) == 6
+        assert h.edges[1] == pytest.approx(2.0)
+
+    def test_quantile(self):
+        h = Histogram.linear(0.0, 100.0, 100)
+        for i in range(100):
+            h.add(i + 0.5)
+        assert h.quantile(0.5) == pytest.approx(50.0, abs=1.5)
+        assert h.quantile(0.99) == pytest.approx(99.0, abs=1.5)
+
+    def test_quantile_empty_is_nan(self):
+        h = Histogram([0.0, 1.0])
+        assert math.isnan(h.quantile(0.5))
+
+    def test_quantile_range_validation(self):
+        h = Histogram([0.0, 1.0])
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_edge_validation(self):
+        with pytest.raises(ValueError):
+            Histogram([1.0])
+        with pytest.raises(ValueError):
+            Histogram([0.0, 0.0, 1.0])
+
+    def test_nonzero_bins(self):
+        h = Histogram([0.0, 1.0, 2.0])
+        h.add(1.5)
+        assert h.nonzero_bins() == [(1.0, 2.0, 1)]
+
+
+class TestThroughputMeter:
+    def test_rate_computation(self):
+        sim = Simulator()
+        meter = ThroughputMeter(sim)
+        meter.account(1000)
+        sim.timeout(2.0)
+        sim.run()
+        assert meter.bits_per_second() == pytest.approx(4000.0)
+        assert meter.megabits_per_second() == pytest.approx(0.004)
+        assert meter.units_per_second() == pytest.approx(0.5)
+
+    def test_zero_span_is_zero_rate(self):
+        meter = ThroughputMeter(Simulator())
+        meter.account(100)
+        assert meter.bits_per_second() == 0.0
+
+    def test_negative_bytes_rejected(self):
+        meter = ThroughputMeter(Simulator())
+        with pytest.raises(ValueError):
+            meter.account(-1)
+
+
+class TestSeriesRecorder:
+    def test_record_and_query(self):
+        s = SeriesRecorder("occupancy")
+        s.record(0.0, 1.0)
+        s.record(1.0, 5.0)
+        s.record(2.0, 3.0)
+        assert len(s) == 3
+        assert s.last() == (2.0, 3.0)
+        assert s.max_value() == 5.0
+        assert s.mean_value() == pytest.approx(3.0)
+
+    def test_time_must_not_decrease(self):
+        s = SeriesRecorder()
+        s.record(1.0, 0.0)
+        with pytest.raises(ValueError):
+            s.record(0.5, 0.0)
+
+    def test_empty_series(self):
+        s = SeriesRecorder()
+        with pytest.raises(IndexError):
+            s.last()
+        assert math.isnan(s.max_value())
