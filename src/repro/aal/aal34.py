@@ -198,6 +198,7 @@ class _MidContext:
     next_sn: int = 0
     cells: int = 0
     poisoned: bool = False  #: error seen; discard through next EOM
+    poison_reason: Optional[ReassemblyFailure] = None
     started_at: float = 0.0
 
 
@@ -227,6 +228,10 @@ class Aal34Reassembler:
         """True when a PDU is mid-reassembly on (vc, mid)."""
         return (vc, mid) in self._contexts
 
+    def open_cells(self) -> int:
+        """Total cells held across all open contexts (for conservation)."""
+        return sum(context.cells for context in self._contexts.values())
+
     def receive_cell(self, cell: AtmCell, now: float = 0.0) -> Optional[SduIndication]:
         """Consume one cell; returns an indication when a PDU completes."""
         vc = VcAddress(cell.vpi, cell.vci)
@@ -250,7 +255,16 @@ class Aal34Reassembler:
             if context is not None and context.chunks and not context.poisoned:
                 # New beginning while a PDU was open: the old one lost its
                 # EOM.  Discard it and start fresh.
-                self.stats.count_failure(ReassemblyFailure.PROTOCOL)
+                self.stats.count_failure(
+                    ReassemblyFailure.PROTOCOL, cells=context.cells
+                )
+            elif context is not None and context.poisoned:
+                # A poisoned PDU is replaced before its EOM resync: its
+                # accumulated cells settle into the poisoning failure.
+                self.stats.count_discarded_cells(
+                    context.poison_reason or ReassemblyFailure.PROTOCOL,
+                    context.cells,
+                )
             context = _MidContext(started_at=now)
             self._contexts[key] = context
             context.next_sn = (sn + 1) % _SN_MODULUS
@@ -269,9 +283,11 @@ class Aal34Reassembler:
         if not context.poisoned:
             if sn != context.next_sn:
                 context.poisoned = True
+                context.poison_reason = ReassemblyFailure.SEQUENCE
                 self.stats.count_failure(ReassemblyFailure.SEQUENCE)
             elif context.cells > self.max_cells:
                 context.poisoned = True
+                context.poison_reason = ReassemblyFailure.OVERSIZE
                 self.stats.count_failure(ReassemblyFailure.OVERSIZE)
         context.next_sn = (sn + 1) % _SN_MODULUS
         if not context.poisoned:
@@ -280,6 +296,10 @@ class Aal34Reassembler:
         if st is SarSegmentType.EOM:
             if context.poisoned:
                 del self._contexts[key]
+                self.stats.count_discarded_cells(
+                    context.poison_reason or ReassemblyFailure.PROTOCOL,
+                    context.cells,
+                )
                 return None
             return self._complete(key, context, now)
         return None
@@ -292,16 +312,19 @@ class Aal34Reassembler:
         try:
             sdu = parse_cpcs_pdu_34(cpcs)
         except CpcsTagError:
-            self.stats.count_failure(ReassemblyFailure.TAG_MISMATCH)
+            self.stats.count_failure(
+                ReassemblyFailure.TAG_MISMATCH, cells=context.cells
+            )
             return None
         except CpcsFormatError:
-            self.stats.count_failure(ReassemblyFailure.LENGTH)
+            self.stats.count_failure(ReassemblyFailure.LENGTH, cells=context.cells)
             return None
         vc, mid = key
         indication = SduIndication(
             vc=vc, sdu=sdu, cells=context.cells, completed_at=now, mid=mid
         )
         self.stats.pdus_delivered += 1
+        self.stats.cells_delivered += context.cells
         self.stats.bytes_delivered += len(sdu)
         if self.deliver is not None:
             self.deliver(indication)
@@ -314,6 +337,12 @@ class Aal34Reassembler:
         context = self._contexts.pop((vc, mid), None)
         if context is None:
             return False
-        self.stats.count_failure(why)
-        self.stats.cells_orphaned += context.cells
+        if context.poisoned:
+            # The PDU was already counted as a failure when poisoned;
+            # only the cell disposition is still outstanding.
+            self.stats.count_discarded_cells(
+                context.poison_reason or why, context.cells
+            )
+        else:
+            self.stats.count_failure(why, cells=context.cells)
         return True

@@ -138,11 +138,23 @@ class Aal5Reassembler:
         self,
         deliver: Optional[Callable[[SduIndication], None]] = None,
         max_cells: int = AAL5_MAX_CELLS,
+        max_contexts: Optional[int] = None,
     ) -> None:
         if max_cells < 1:
             raise AalError("max_cells must be >= 1")
+        if max_contexts is not None and max_contexts < 1:
+            raise AalError("max_contexts must be >= 1 or None")
         self.deliver = deliver
         self.max_cells = max_cells
+        #: Quota on simultaneously open reassembly contexts.  A first
+        #: cell arriving while the table is full evicts the *oldest*
+        #: open context (QUOTA failure) -- bounded context memory is a
+        #: hardware reality, and oldest-first is the right victim: the
+        #: oldest partial PDU is the likeliest to have a lost tail.
+        self.max_contexts = max_contexts
+        #: Called with the evicted VC (after the context is gone) so the
+        #: owner can reclaim buffer memory and timers.
+        self.on_evict: Optional[Callable[[VcAddress], None]] = None
         self.stats = ReassemblyStats()
         self._partial: Dict[VcAddress, _PartialPdu] = {}
 
@@ -159,12 +171,29 @@ class Aal5Reassembler:
         partial = self._partial.get(vc)
         return 0 if partial is None else partial.cells
 
+    def open_cells(self) -> int:
+        """Total cells held across all open contexts (for conservation)."""
+        return sum(partial.cells for partial in self._partial.values())
+
+    def _evict_oldest(self) -> None:
+        """Make room for a new context: QUOTA-discard the oldest one."""
+        victim = next(iter(self._partial))  # insertion order == open order
+        partial = self._partial.pop(victim)
+        self.stats.count_failure(ReassemblyFailure.QUOTA, cells=partial.cells)
+        if self.on_evict is not None:
+            self.on_evict(victim)
+
     def receive_cell(self, cell: AtmCell, now: float = 0.0) -> Optional[SduIndication]:
         """Consume one cell; returns the SDU indication on completion."""
         vc = VcAddress(cell.vpi, cell.vci)
         self.stats.cells_consumed += 1
         partial = self._partial.get(vc)
         if partial is None:
+            if (
+                self.max_contexts is not None
+                and len(self._partial) >= self.max_contexts
+            ):
+                self._evict_oldest()
             partial = _PartialPdu(started_at=now)
             self._partial[vc] = partial
         partial.chunks.append(cell.payload)
@@ -172,7 +201,7 @@ class Aal5Reassembler:
 
         if partial.cells > self.max_cells:
             del self._partial[vc]
-            self.stats.count_failure(ReassemblyFailure.OVERSIZE)
+            self.stats.count_failure(ReassemblyFailure.OVERSIZE, cells=partial.cells)
             return None
         if not cell.end_of_frame:
             return None
@@ -182,10 +211,10 @@ class Aal5Reassembler:
         try:
             sdu, uu, _cpi = parse_cpcs_pdu(pdu)
         except CpcsCrcError:
-            self.stats.count_failure(ReassemblyFailure.CRC)
+            self.stats.count_failure(ReassemblyFailure.CRC, cells=partial.cells)
             return None
         except CpcsLengthError:
-            self.stats.count_failure(ReassemblyFailure.LENGTH)
+            self.stats.count_failure(ReassemblyFailure.LENGTH, cells=partial.cells)
             return None
         indication = SduIndication(
             vc=vc,
@@ -195,6 +224,7 @@ class Aal5Reassembler:
             user_indication=uu,
         )
         self.stats.pdus_delivered += 1
+        self.stats.cells_delivered += partial.cells
         self.stats.bytes_delivered += len(sdu)
         if self.deliver is not None:
             self.deliver(indication)
@@ -205,8 +235,7 @@ class Aal5Reassembler:
         partial = self._partial.pop(vc, None)
         if partial is None:
             return False
-        self.stats.count_failure(why)
-        self.stats.cells_orphaned += partial.cells
+        self.stats.count_failure(why, cells=partial.cells)
         return True
 
     def context_age(self, vc: VcAddress, now: float) -> Optional[float]:

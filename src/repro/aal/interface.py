@@ -30,25 +30,47 @@ class ReassemblyFailure(enum.Enum):
     OVERSIZE = "oversize"  #: PDU exceeded the maximum reassembly size
     TIMEOUT = "timeout"  #: reassembly timer expired on a partial PDU
     NO_CONTEXT = "no-context"  #: cell for a VC with no reassembly context
+    QUOTA = "quota"  #: context evicted to stay within the context quota
 
 
 @dataclass
 class ReassemblyStats:
-    """Aggregate reassembly accounting for one endpoint."""
+    """Aggregate reassembly accounting for one endpoint.
+
+    Cell conservation: every consumed cell ends in exactly one of
+    *cells_delivered* (it rode a delivered PDU), *cells_discarded_by*
+    (itemised by the failure that killed its PDU), *cells_orphaned*
+    (never attributable to a context -- SAR decode failures, COM/EOM
+    with no open PDU), or a still-open context.  The auditor in
+    :mod:`repro.faults.audit` reconciles against this invariant.
+    """
 
     pdus_delivered: int = 0
     pdus_discarded: int = 0
     cells_consumed: int = 0
+    cells_delivered: int = 0
     cells_orphaned: int = 0
     bytes_delivered: int = 0
     failures: dict = field(default_factory=dict)
+    #: Cells lost with their PDU, itemised by failure cause.
+    cells_discarded_by: dict = field(default_factory=dict)
 
-    def count_failure(self, why: ReassemblyFailure) -> None:
+    def count_failure(self, why: ReassemblyFailure, cells: int = 0) -> None:
         self.pdus_discarded += 1
         self.failures[why] = self.failures.get(why, 0) + 1
+        if cells:
+            self.count_discarded_cells(why, cells)
+
+    def count_discarded_cells(self, why: ReassemblyFailure, cells: int) -> None:
+        """Attribute cells to an already-counted failure (late disposition)."""
+        self.cells_discarded_by[why] = self.cells_discarded_by.get(why, 0) + cells
 
     def failure_count(self, why: ReassemblyFailure) -> int:
         return self.failures.get(why, 0)
+
+    @property
+    def cells_discarded(self) -> int:
+        return sum(self.cells_discarded_by.values())
 
     @property
     def discard_ratio(self) -> float:

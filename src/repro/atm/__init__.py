@@ -25,8 +25,11 @@ from repro.atm.cell import (
 )
 from repro.atm.errors import (
     BitErrorModel,
+    CompositeLoss,
     GilbertElliottLoss,
     NoLoss,
+    ScheduledLoss,
+    TailLoss,
     UniformLoss,
 )
 from repro.atm.hec import (
@@ -69,6 +72,7 @@ __all__ = [
     "CellFormatError",
     "CellTap",
     "CellMultiplexer",
+    "CompositeLoss",
     "DS3_45",
     "DelineationState",
     "Gcra",
@@ -87,10 +91,12 @@ __all__ = [
     "SIGNALLING_VC",
     "STS12C_622",
     "STS3C_155",
+    "ScheduledLoss",
     "ServiceClass",
     "SignallingAgent",
     "SignallingMessage",
     "TAXI_100",
+    "TailLoss",
     "UniformLoss",
     "VCI_ILMI",
     "VCI_SIGNALLING",

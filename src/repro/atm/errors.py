@@ -13,8 +13,9 @@ type plugs into links, switch ports and test fixtures.
 from __future__ import annotations
 
 import random
-from typing import Optional, Protocol
+from typing import Iterable, Optional, Protocol, Sequence
 
+from repro.atm.addressing import VcAddress
 from repro.atm.cell import AtmCell
 
 
@@ -111,6 +112,85 @@ class GilbertElliottLoss:
             return self.loss_in_bad if self.in_bad else self.loss_in_good
         pi_bad = self.p_good_to_bad / denom
         return pi_bad * self.loss_in_bad + (1 - pi_bad) * self.loss_in_good
+
+
+class ScheduledLoss:
+    """A loss model gated to a time window: ``[start, stop)``.
+
+    Outside the window every cell passes and the inner model's state is
+    frozen (a Gilbert-Elliott chain does not advance), so a window
+    models a discrete fault episode -- a congested switch, a flapping
+    line card -- rather than a permanently degraded link.
+    """
+
+    def __init__(self, inner: LossModel, start: float, stop: float) -> None:
+        if stop < start:
+            raise ValueError(f"window [{start}, {stop}) is inverted")
+        self.inner = inner
+        self.start = start
+        self.stop = stop
+        self.offered = 0
+        self.dropped = 0
+
+    def should_drop(self, cell: AtmCell, now: float) -> bool:
+        self.offered += 1
+        if not self.start <= now < self.stop:
+            return False
+        if self.inner.should_drop(cell, now):
+            self.dropped += 1
+            return True
+        return False
+
+
+class CompositeLoss:
+    """Chain-of-responsibility over several loss models.
+
+    A cell is dropped by the *first* model that claims it; later models
+    are not consulted for that cell, so each constituent's counters
+    reflect the cells it actually saw.  Fault campaigns use this to pile
+    scheduled fault episodes on top of a link's baseline loss.
+    """
+
+    def __init__(self, models: Optional[Iterable[LossModel]] = None) -> None:
+        self.models: list[LossModel] = list(models) if models is not None else []
+
+    def add(self, model: LossModel) -> "CompositeLoss":
+        self.models.append(model)
+        return self
+
+    def should_drop(self, cell: AtmCell, now: float) -> bool:
+        for model in self.models:
+            if model.should_drop(cell, now):
+                return True
+        return False
+
+
+class TailLoss:
+    """Drops the EOF cell of selected PDUs on one VC.
+
+    Losing a frame's tail is the nastiest single-cell loss an AAL5-class
+    receiver can suffer: the reassembly context is left open, and either
+    the next frame merges into it (both fail the CRC/length check) or --
+    if the stream goes quiet -- the context is stranded until the
+    reassembly timer reclaims it.  *pdu_indices* counts EOF cells seen
+    on the VC from zero.
+    """
+
+    def __init__(self, vc: VcAddress, pdu_indices: Sequence[int]) -> None:
+        self.vc = VcAddress(*vc)
+        self.targets = frozenset(pdu_indices)
+        self._eof_seen = 0
+        self.dropped = 0
+
+    def should_drop(self, cell: AtmCell, now: float) -> bool:
+        if (cell.vpi, cell.vci) != self.vc or not cell.end_of_frame:
+            return False
+        index = self._eof_seen
+        self._eof_seen += 1
+        if index in self.targets:
+            self.dropped += 1
+            return True
+        return False
 
 
 class BitErrorModel:

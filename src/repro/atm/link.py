@@ -88,6 +88,7 @@ class PhysicalLink:
         sink: Optional[CellSink] = None,
         propagation_delay: float = 0.0,
         loss_model: Optional[LossModel] = None,
+        error_model=None,
         name: str = "",
     ) -> None:
         if propagation_delay < 0:
@@ -97,6 +98,11 @@ class PhysicalLink:
         self.sink = sink
         self.propagation_delay = propagation_delay
         self.loss_model = loss_model if loss_model is not None else NoLoss()
+        #: Optional corruption hook (``maybe_corrupt(cell) -> cell``,
+        #: e.g. :class:`~repro.atm.errors.BitErrorModel`): applied to
+        #: every cell that survives the loss model, modelling payload or
+        #: header bit errors on the wire.
+        self.error_model = error_model
         self.name = name or f"link-{spec.name}"
         self._next_free = 0.0
         self._busy_time = 0.0
@@ -120,6 +126,8 @@ class PhysicalLink:
         if self.loss_model.should_drop(cell, now):
             self.cells_lost.increment()
         else:
+            if self.error_model is not None:
+                cell = self.error_model.maybe_corrupt(cell)
             self.sim.schedule_call(
                 (done - now) + self.propagation_delay, self._deliver, cell
             )

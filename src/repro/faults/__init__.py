@@ -1,0 +1,53 @@
+"""Fault-injection campaigns and conservation auditing.
+
+Robustness work needs three things the happy-path experiments do not
+provide: a way to *cause* trouble deterministically, a receive path
+that degrades gracefully instead of collapsing, and an accountant that
+proves no cell was lost without a named cause.  This package supplies
+the first and the third (the second lives in the NIC's
+:class:`~repro.nic.rx.FrameDiscardPolicy` machinery):
+
+- :mod:`repro.faults.plan` -- declarative, seeded fault plans (bursty
+  link loss, engine stall windows, reassembly-tail loss, CAM miss
+  injection, interrupt storms, payload/HEC corruption);
+- :mod:`repro.faults.campaign` -- :class:`FaultCampaign` composes plans
+  onto a complete sender/receiver testbed and runs it to a drained,
+  auditable end state;
+- :mod:`repro.faults.audit` -- :class:`CellConservationAuditor` checks
+  the books: cells offered equals cells delivered plus cells dropped,
+  itemised by cause, at any instant of the run.
+"""
+
+from repro.faults.audit import (
+    CellConservationAuditor,
+    CellConservationError,
+    ConservationLedger,
+)
+from repro.faults.campaign import CampaignResult, CampaignSpec, FaultCampaign
+from repro.faults.plan import (
+    BurstLossPlan,
+    CamMissPlan,
+    CorruptionPlan,
+    EngineStallPlan,
+    FaultPlan,
+    InterruptStormPlan,
+    TailLossPlan,
+    UniformLossPlan,
+)
+
+__all__ = [
+    "BurstLossPlan",
+    "CamMissPlan",
+    "CampaignResult",
+    "CampaignSpec",
+    "CellConservationAuditor",
+    "CellConservationError",
+    "ConservationLedger",
+    "CorruptionPlan",
+    "EngineStallPlan",
+    "FaultCampaign",
+    "FaultPlan",
+    "InterruptStormPlan",
+    "TailLossPlan",
+    "UniformLossPlan",
+]

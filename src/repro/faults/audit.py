@@ -1,0 +1,215 @@
+"""Cell conservation: offered == delivered + accounted drops.
+
+The receive path has many places a cell can die -- the wire, the HEC
+check, the EPD/PPD admission filter, the FIFO, the VC lookup, adaptor
+buffer exhaustion, the reassembler's failure taxonomy -- and each one
+keeps its own counter.  The auditor reconciles them all against the
+sender's ledger: every cell the link ever carried must sit in exactly
+one bucket.  A nonzero residue means a counter is missing or double
+counted, which is precisely the class of accounting bug that makes
+loss experiments quietly wrong.
+
+The invariant holds at *any* instant, not just at quiescence: cells
+still on the wire, queued in the FIFO, held by an open reassembly
+context, in the engine's hands, or riding a posted DMA are themselves
+buckets.  After a drained run those in-flight buckets read zero and
+the ledger reduces to the steady-state identity::
+
+    offered == delivered + sum(itemised drops)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+from repro.atm.link import PhysicalLink
+
+
+class CellConservationError(AssertionError):
+    """The books do not balance; the message itemises every bucket."""
+
+
+@dataclass(frozen=True)
+class ConservationLedger:
+    """One instant's complete cell accounting for a receive path.
+
+    All counts are cells.  *offered* is the sender-side truth (cells
+    the link was asked to carry); every other field is a disposition
+    bucket.  The buckets are mutually exclusive by construction -- each
+    counter increments at a different point of a cell's one-way trip.
+    """
+
+    offered: int
+    #: Dropped by the link's loss model (never delivered).
+    link_lost: int
+    #: Serialized or propagating, delivery still scheduled.
+    wire_in_flight: int
+    #: Rejected by the framer's HEC check at admission.
+    hec_discarded: int
+    #: Refused whole-frame at admission (Early Packet Discard).
+    epd_discarded: int
+    #: Dropped mid-frame after a loss (Partial Packet Discard).
+    ppd_discarded: int
+    #: Hard receive-FIFO overflow.
+    fifo_overflow: int
+    #: Sitting in the receive FIFO right now.
+    fifo_queued: int
+    #: Popped by the engine, verdict not yet booked (0 or 1).
+    engine_in_flight: int
+    #: Management cells consumed by the OAM unit.
+    oam_cells: int
+    #: Cells for VCs never opened (CAM/table miss).
+    unknown_vc: int
+    #: Dropped because adaptor buffer memory was exhausted.
+    no_adaptor_buffer: int
+    #: Held by reassembly contexts still open.
+    reassembly_open: int
+    #: Rode a PDU the reassembler delivered.
+    delivered: int
+    #: Never attributable to any context (SAR decode failures,
+    #: continuation cells with no open PDU).
+    orphaned: int
+    #: Cells lost with their PDU, itemised by reassembly failure cause
+    #: (crc, length, timeout, quota, sequence, ...).
+    discarded_by: Mapping[str, int] = field(default_factory=dict)
+    # -- disposition of *delivered* cells (partition, not new buckets) --
+    #: Landed in a host buffer (DMA complete).
+    to_host: int = 0
+    #: PDU completed but no host buffer was available.
+    no_host_buffer: int = 0
+    #: PDU completed, DMA still in flight.
+    dma_in_flight: int = 0
+
+    @property
+    def accounted(self) -> int:
+        """Sum of every disposition bucket."""
+        return (
+            self.link_lost
+            + self.wire_in_flight
+            + self.hec_discarded
+            + self.epd_discarded
+            + self.ppd_discarded
+            + self.fifo_overflow
+            + self.fifo_queued
+            + self.engine_in_flight
+            + self.oam_cells
+            + self.unknown_vc
+            + self.no_adaptor_buffer
+            + self.reassembly_open
+            + self.delivered
+            + self.orphaned
+            + sum(self.discarded_by.values())
+        )
+
+    @property
+    def unaccounted(self) -> int:
+        """The residue; zero when every cell has a named fate."""
+        return self.offered - self.accounted
+
+    @property
+    def is_conserved(self) -> bool:
+        return self.unaccounted == 0 and self.dma_in_flight >= 0
+
+    def breakdown(self) -> Dict[str, int]:
+        """Flat bucket -> count map (itemised failures inlined)."""
+        flat = {
+            "link_lost": self.link_lost,
+            "wire_in_flight": self.wire_in_flight,
+            "hec_discarded": self.hec_discarded,
+            "epd_discarded": self.epd_discarded,
+            "ppd_discarded": self.ppd_discarded,
+            "fifo_overflow": self.fifo_overflow,
+            "fifo_queued": self.fifo_queued,
+            "engine_in_flight": self.engine_in_flight,
+            "oam_cells": self.oam_cells,
+            "unknown_vc": self.unknown_vc,
+            "no_adaptor_buffer": self.no_adaptor_buffer,
+            "reassembly_open": self.reassembly_open,
+            "delivered": self.delivered,
+            "orphaned": self.orphaned,
+        }
+        for why, cells in sorted(self.discarded_by.items()):
+            flat[f"reassembly_{why}"] = cells
+        return flat
+
+    def format(self) -> str:
+        """Human-readable ledger for failure messages and reports."""
+        lines = [f"offered {self.offered}"]
+        for bucket, count in self.breakdown().items():
+            if count:
+                lines.append(f"  {bucket:<24} {count}")
+        lines.append(f"  {'accounted':<24} {self.accounted}")
+        lines.append(f"  {'unaccounted':<24} {self.unaccounted}")
+        return "\n".join(lines)
+
+
+class CellConservationAuditor:
+    """Reconciles a link/receiver pair's counters into a ledger.
+
+    Wire it to the forward link and the receiving interface of any
+    testbed; :meth:`snapshot` is pure observation (no state is
+    modified), so it can be called mid-run as often as wanted.
+    """
+
+    def __init__(self, link: PhysicalLink, receiver) -> None:
+        self.link = link
+        self.receiver = receiver
+
+    def snapshot(self) -> ConservationLedger:
+        """Read every counter and assemble the instant's ledger."""
+        link = self.link
+        rx = self.receiver.rx_engine
+        fifo = rx.fifo
+        reasm = rx.reassembler.stats
+
+        offered = link.cells_sent.count
+        lost = link.cells_lost.count
+        wire = offered - lost - link.cells_delivered.count
+
+        consumed_splits = (
+            rx.oam_cells.count
+            + rx.cells_unknown_vc.count
+            + rx.cells_no_buffer.count
+            + reasm.cells_consumed
+        )
+        engine_in_flight = rx.cells_received.count - consumed_splits
+
+        delivered = reasm.cells_delivered
+        to_host = rx.cells_delivered_to_host.count
+        no_host = rx.cells_no_host_buffer.count
+
+        return ConservationLedger(
+            offered=offered,
+            link_lost=lost,
+            wire_in_flight=wire,
+            hec_discarded=rx.cells_hec_discarded.count,
+            epd_discarded=rx.cells_epd_discarded.count,
+            ppd_discarded=rx.cells_ppd_discarded.count,
+            fifo_overflow=fifo.overflows.count,
+            fifo_queued=len(fifo),
+            engine_in_flight=engine_in_flight,
+            oam_cells=rx.oam_cells.count,
+            unknown_vc=rx.cells_unknown_vc.count,
+            no_adaptor_buffer=rx.cells_no_buffer.count,
+            reassembly_open=rx.reassembler.open_cells(),
+            delivered=delivered,
+            orphaned=reasm.cells_orphaned,
+            discarded_by={
+                why.value: cells
+                for why, cells in reasm.cells_discarded_by.items()
+            },
+            to_host=to_host,
+            no_host_buffer=no_host,
+            dma_in_flight=delivered - to_host - no_host,
+        )
+
+    def assert_conserved(self) -> ConservationLedger:
+        """Snapshot and raise :class:`CellConservationError` on a residue."""
+        ledger = self.snapshot()
+        if not ledger.is_conserved:
+            raise CellConservationError(
+                f"cell conservation violated "
+                f"({ledger.unaccounted} unaccounted):\n{ledger.format()}"
+            )
+        return ledger

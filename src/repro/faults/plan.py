@@ -1,0 +1,300 @@
+"""Declarative fault plans.
+
+A plan is a frozen description of one fault episode -- *what* goes
+wrong, *where*, and *when* -- with no simulator state of its own.  The
+campaign materialises each plan against a concrete testbed via
+:meth:`FaultPlan.apply`, handing it a :class:`random.Random` derived
+from ``(campaign seed, plan index, plan label)``, so a campaign's whole
+fault schedule replays bit-identically from its seed.
+
+Plans plug into hooks the components already expose:
+
+======================  =====================================================
+plan                    hook
+======================  =====================================================
+:class:`UniformLossPlan`    :class:`~repro.atm.errors.ScheduledLoss` on the link
+:class:`BurstLossPlan`      Gilbert-Elliott chain, window-gated, on the link
+:class:`TailLossPlan`       :class:`~repro.atm.errors.TailLoss` on the link
+:class:`CorruptionPlan`     ``error_model`` hook on the link
+:class:`EngineStallPlan`    :meth:`~repro.nic.engine.EngineClock.request_stall`
+:class:`CamMissPlan`        ``fault_hook`` on :class:`~repro.nic.cam.Cam`
+:class:`InterruptStormPlan` :meth:`~repro.host.interrupts.InterruptController.inject_spurious`
+======================  =====================================================
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.atm.cell import AtmCell
+from repro.atm.errors import (
+    BitErrorModel,
+    GilbertElliottLoss,
+    ScheduledLoss,
+    TailLoss,
+    UniformLoss,
+)
+
+
+class PlanError(ValueError):
+    """A plan cannot apply to the campaign's testbed."""
+
+
+class FaultPlan:
+    """Base protocol: a label plus an :meth:`apply` hook.
+
+    Subclasses are frozen dataclasses; ``apply`` must only install
+    hooks and schedule simulator work -- all randomness comes from the
+    *rng* argument so runs are reproducible from the campaign seed.
+    """
+
+    label: str = "fault"
+
+    def apply(self, campaign, rng: random.Random) -> None:
+        raise NotImplementedError  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class UniformLossPlan(FaultPlan):
+    """Bernoulli cell loss at probability *p* during ``[start, stop)``."""
+
+    p: float = 0.01
+    start: float = 0.0
+    stop: float = math.inf
+    label: str = "uniform-loss"
+
+    def apply(self, campaign, rng: random.Random) -> None:
+        campaign.link_loss.add(
+            ScheduledLoss(UniformLoss(self.p, rng=rng), self.start, self.stop)
+        )
+
+
+@dataclass(frozen=True)
+class BurstLossPlan(FaultPlan):
+    """Gilbert-Elliott bursty loss during ``[start, stop)``.
+
+    Models a congested switch port upstream: drops cluster in bursts of
+    mean length ``1 / p_bad_to_good`` cells.  The chain's state is
+    frozen outside the window, so the episode is self-contained.
+    """
+
+    start: float = 0.0
+    stop: float = math.inf
+    p_good_to_bad: float = 0.005
+    p_bad_to_good: float = 0.2
+    loss_in_bad: float = 1.0
+    loss_in_good: float = 0.0
+    label: str = "burst-loss"
+
+    def apply(self, campaign, rng: random.Random) -> None:
+        chain = GilbertElliottLoss(
+            p_good_to_bad=self.p_good_to_bad,
+            p_bad_to_good=self.p_bad_to_good,
+            loss_in_bad=self.loss_in_bad,
+            loss_in_good=self.loss_in_good,
+            rng=rng,
+        )
+        campaign.link_loss.add(ScheduledLoss(chain, self.start, self.stop))
+
+
+@dataclass(frozen=True)
+class TailLossPlan(FaultPlan):
+    """Drop the EOF cell of selected PDUs on one campaign VC.
+
+    The sharpest single-cell fault for an AAL5-class receiver: the
+    context is left open and either merges with the next frame or
+    strands until the reassembly timer fires.  *vc_index* selects among
+    the campaign's opened VCs; *pdu_indices* counts the VC's frames
+    from zero.
+    """
+
+    vc_index: int = 0
+    pdu_indices: Tuple[int, ...] = (0,)
+    label: str = "tail-loss"
+
+    def apply(self, campaign, rng: random.Random) -> None:
+        try:
+            vc = campaign.vcs[self.vc_index]
+        except IndexError:
+            raise PlanError(
+                f"{self.label}: vc_index {self.vc_index} outside the "
+                f"campaign's {len(campaign.vcs)} VCs"
+            ) from None
+        campaign.link_loss.add(TailLoss(vc, self.pdu_indices))
+
+
+class _HecMarker:
+    """Marks cells with an uncorrectable header error at probability *p*.
+
+    The simulation carries the verdict in ``cell.meta['hec_error']``
+    (header bytes are not modelled bit-for-bit); the receive path's
+    framer check discards marked cells before the FIFO.
+    """
+
+    def __init__(self, p: float, rng: random.Random) -> None:
+        self.p = p
+        self.rng = rng
+        self.marked = 0
+
+    def maybe_corrupt(self, cell: AtmCell) -> AtmCell:
+        if self.p > 0.0 and self.rng.random() < self.p:
+            cell.meta["hec_error"] = True
+            self.marked += 1
+        return cell
+
+
+class _CorruptionChain:
+    """Applies several ``maybe_corrupt`` stages in sequence."""
+
+    def __init__(self, stages) -> None:
+        self.stages = list(stages)
+
+    def maybe_corrupt(self, cell: AtmCell) -> AtmCell:
+        for stage in self.stages:
+            cell = stage.maybe_corrupt(cell)
+        return cell
+
+
+@dataclass(frozen=True)
+class CorruptionPlan(FaultPlan):
+    """Wire corruption: payload bit flips and/or HEC header errors.
+
+    *payload_p* flips one payload bit (caught by the AAL's CRC, so the
+    PDU dies at reassembly); *hec_p* marks the header uncorrectable
+    (the cell dies at the framer).  Both per-cell probabilities.
+    """
+
+    payload_p: float = 0.0
+    hec_p: float = 0.0
+    label: str = "corruption"
+
+    def __post_init__(self) -> None:
+        for name, p in (("payload_p", self.payload_p), ("hec_p", self.hec_p)):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name}={p} outside [0, 1]")
+
+    def apply(self, campaign, rng: random.Random) -> None:
+        stages = []
+        if self.payload_p > 0.0:
+            stages.append(BitErrorModel(self.payload_p, rng=rng))
+        if self.hec_p > 0.0:
+            stages.append(_HecMarker(self.hec_p, rng=rng))
+        if not stages:
+            return
+        existing = campaign.link.error_model
+        if existing is not None:
+            stages.insert(0, existing)
+        campaign.link.error_model = _CorruptionChain(stages)
+
+
+@dataclass(frozen=True)
+class EngineStallPlan(FaultPlan):
+    """Freeze a protocol engine at scheduled instants.
+
+    Each entry of *at* requests a stall of *duration* seconds absorbed
+    by the engine's next unit of work; links and FIFOs keep running, so
+    a receive-side stall is exactly scheduled FIFO-overflow pressure.
+    Use :meth:`periodic` to build a square-wave pressure window.
+    """
+
+    at: Tuple[float, ...] = ()
+    duration: float = 1e-4
+    engine: str = "rx"
+    label: str = "engine-stall"
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("stall duration must be positive")
+        if self.engine not in ("rx", "tx"):
+            raise ValueError(f"engine must be 'rx' or 'tx', not {self.engine!r}")
+
+    @classmethod
+    def periodic(
+        cls,
+        start: float,
+        stop: float,
+        period: float,
+        duration: float,
+        engine: str = "rx",
+    ) -> "EngineStallPlan":
+        """Stalls of *duration* every *period* across ``[start, stop)``."""
+        if period <= 0:
+            raise ValueError("period must be positive")
+        times = []
+        t = start
+        while t < stop:
+            times.append(t)
+            t += period
+        return cls(at=tuple(times), duration=duration, engine=engine)
+
+    def apply(self, campaign, rng: random.Random) -> None:
+        nic = campaign.receiver if self.engine == "rx" else campaign.sender
+        clock = nic.rx_clock if self.engine == "rx" else nic.tx_clock
+        for t in self.at:
+            campaign.sim.schedule_call(t, clock.request_stall, self.duration)
+
+
+@dataclass(frozen=True)
+class CamMissPlan(FaultPlan):
+    """Force CAM lookup misses at probability *p* during ``[start, stop)``.
+
+    A forced miss makes a programmed VC's cell look like one for an
+    unopened connection -- the engine counts and discards it.  Models a
+    flaky comparand array or a parity-disabled entry.
+    """
+
+    p: float = 0.01
+    start: float = 0.0
+    stop: float = math.inf
+    label: str = "cam-miss"
+
+    def apply(self, campaign, rng: random.Random) -> None:
+        cam = campaign.receiver.cam
+        if cam is None:
+            raise PlanError(
+                f"{self.label}: the receiver has no CAM fitted "
+                "(config.cam_entries is None)"
+            )
+        sim, start, stop, p = campaign.sim, self.start, self.stop, self.p
+
+        def flaky(_key) -> bool:
+            return start <= sim.now < stop and rng.random() < p
+
+        cam.fault_hook = flaky
+
+
+@dataclass(frozen=True)
+class InterruptStormPlan(FaultPlan):
+    """Spurious device interrupts at *rate_hz* during ``[start, stop)``.
+
+    Each spurious assertion costs the host full entry/exit dispatch
+    plus *handler_cycles* of status polling but moves no data -- the
+    classic storm that starves the OS receive path.
+    """
+
+    start: float = 0.0
+    stop: float = 0.01
+    rate_hz: float = 10e3
+    handler_cycles: float = 50.0
+    label: str = "interrupt-storm"
+
+    def __post_init__(self) -> None:
+        if self.rate_hz <= 0:
+            raise ValueError("storm rate must be positive")
+        if not self.start <= self.stop:
+            raise ValueError(f"window [{self.start}, {self.stop}) is inverted")
+
+    def apply(self, campaign, rng: random.Random) -> None:
+        campaign.sim.process(self._storm(campaign, rng))
+
+    def _storm(self, campaign, rng: random.Random):
+        sim = campaign.sim
+        intc = campaign.receiver.interrupts
+        if self.start > sim.now:
+            yield sim.timeout(self.start - sim.now)
+        while sim.now < self.stop:
+            intc.inject_spurious(self.handler_cycles)
+            yield sim.timeout(rng.expovariate(self.rate_hz))

@@ -61,6 +61,7 @@ class InterruptController:
         self.name = name
         self.raised = Counter(f"{name}.raised")
         self.delivered = Counter(f"{name}.delivered")
+        self.spurious = Counter(f"{name}.spurious")
         self._pending: list[tuple[float, Optional[Callable[[], None]]]] = []
         self._pending_events: list[Event] = []
         self._delivery_scheduled = False
@@ -79,6 +80,17 @@ class InterruptController:
             self._delivery_scheduled = True
             self.sim.process(self._deliver())
         return done
+
+    def inject_spurious(self, handler_cycles: float = 0.0) -> Event:
+        """Fault-injection hook: a spurious assertion of the device line.
+
+        The handler body finds no work (*handler_cycles* models its
+        status-register poll), but entry/exit and dispatch are paid in
+        full -- an interrupt storm steals host CPU without moving a
+        byte.  Delivered through the normal coalescing machinery.
+        """
+        self.spurious.increment()
+        return self.raise_interrupt(handler_cycles)
 
     def _deliver(self):
         if self.spec.coalesce_window > 0:

@@ -41,6 +41,7 @@ from repro.nic.descriptors import RxCompletion, TxDescriptor
 from repro.nic.engine import EngineClock
 from repro.nic.fifo import CellFifo
 from repro.nic.nic import HostNetworkInterface, NicStats, connect
+from repro.nic.rx import FrameDiscardPolicy
 from repro.nic.sarglue import Aal5Glue, Aal34Glue, glue_for
 
 __all__ = [
@@ -53,6 +54,7 @@ __all__ = [
     "CellPosition",
     "EngineClock",
     "EngineSpec",
+    "FrameDiscardPolicy",
     "HostNetworkInterface",
     "I960_16MHZ",
     "I960_25MHZ",

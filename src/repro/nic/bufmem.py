@@ -88,6 +88,15 @@ class AdaptorBufferMemory:
     def free_cells(self) -> int:
         return self.spec.capacity_cells - self._used_cells
 
+    @property
+    def fill_fraction(self) -> float:
+        """Instantaneous occupancy as a fraction of capacity (backpressure)."""
+        return self._used_cells / self.spec.capacity_cells
+
+    def under_pressure(self, reserve_cells: int) -> bool:
+        """True when free space has fallen below *reserve_cells*."""
+        return self.free_cells < reserve_cells
+
     def allocate(self, owner: Hashable, cells: int) -> bool:
         """Reserve *cells* for *owner* (a VC context, a staging PDU).
 

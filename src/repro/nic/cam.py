@@ -13,7 +13,7 @@ the receive path can serve at full rate.
 
 from __future__ import annotations
 
-from typing import Dict, Generic, Hashable, Optional, TypeVar
+from typing import Callable, Dict, Generic, Hashable, Optional, TypeVar
 
 K = TypeVar("K", bound=Hashable)
 V = TypeVar("V")
@@ -34,6 +34,12 @@ class Cam(Generic[K, V]):
         self._entries: Dict[K, V] = {}
         self.hits = 0
         self.misses = 0
+        #: Fault-injection hook: when set and it returns True for a key,
+        #: the lookup reports a miss even though the entry is programmed
+        #: (a flaky comparand array / parity-disabled entry).  Forced
+        #: misses are tallied separately from genuine ones.
+        self.fault_hook: Optional[Callable[[K], bool]] = None
+        self.forced_misses = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -60,6 +66,10 @@ class Cam(Generic[K, V]):
 
     def lookup(self, key: K) -> Optional[V]:
         """Associative match; None on miss (cell for an unknown VC)."""
+        if self.fault_hook is not None and self.fault_hook(key):
+            self.forced_misses += 1
+            self.misses += 1
+            return None
         value = self._entries.get(key)
         if value is None and key not in self._entries:
             self.misses += 1

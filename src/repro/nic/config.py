@@ -21,6 +21,7 @@ from repro.host.interrupts import InterruptSpec
 from repro.host.os_model import OsCostModel
 from repro.nic.bufmem import BufferMemorySpec
 from repro.nic.costs import EngineSpec, I960_25MHZ, RxCostModel, TxCostModel
+from repro.nic.rx import FrameDiscardPolicy
 
 
 @dataclass(frozen=True)
@@ -60,6 +61,13 @@ class NicConfig:
     # reassembly hygiene
     reassembly_timeout: float = 0.5
     reassembly_tick: float = 0.1
+    # graceful degradation under overload
+    #: EPD/PPD admission policy for the receive path; None disables
+    #: frame-level discard (cells drop individually on overflow).
+    frame_discard: FrameDiscardPolicy | None = None
+    #: Quota on simultaneously open reassembly contexts (AAL5 only);
+    #: None leaves the context table unbounded.
+    reassembly_quota: int | None = None
 
     def __post_init__(self) -> None:
         if self.tx_fifo_cells < 1 or self.rx_fifo_cells < 1:
@@ -74,6 +82,8 @@ class NicConfig:
             raise ValueError("reassembly timer values must be positive")
         if self.aal not in ("aal5", "aal3/4", "aal34"):
             raise ValueError(f"unknown adaptation layer {self.aal!r}")
+        if self.reassembly_quota is not None and self.reassembly_quota < 1:
+            raise ValueError("reassembly_quota must be >= 1 or None")
 
     @property
     def cam_fitted(self) -> bool:
@@ -93,6 +103,18 @@ class NicConfig:
     def with_aal34(self) -> "NicConfig":
         """The AAL3/4 data-path variant (the A1 efficiency ablation)."""
         return replace(self, aal="aal3/4")
+
+    def with_frame_discard(
+        self,
+        policy: FrameDiscardPolicy | None = None,
+        quota: int | None = None,
+    ) -> "NicConfig":
+        """Graceful-degradation variant: EPD/PPD plus a context quota."""
+        return replace(
+            self,
+            frame_discard=policy if policy is not None else FrameDiscardPolicy(),
+            reassembly_quota=quota,
+        )
 
 
 def taxi_lan() -> NicConfig:

@@ -31,6 +31,24 @@ class EngineClock:
         self.name = name
         self._busy_time = 0.0
         self.cycles_by_tag: Dict[str, float] = {}
+        self._stall_pending = 0.0
+        #: Total injected stall time the engine has absorbed.
+        self.stalled_time = 0.0
+        #: Number of injected stalls absorbed.
+        self.stalls_taken = 0
+
+    def request_stall(self, duration: float) -> None:
+        """Fault-injection hook: freeze the engine for *duration* seconds.
+
+        The stall is absorbed by the *next* ``work()`` call -- the
+        firmware loop stops executing instructions but the rest of the
+        system (links, FIFOs, DMA) keeps running, which is exactly how a
+        wedged or preempted engine starves its receive FIFO.  Multiple
+        requests accumulate.
+        """
+        if duration < 0:
+            raise ValueError("negative stall duration")
+        self._stall_pending += duration
 
     def work(self, cycles: float, tag: str = "work") -> Timeout:
         """A timeout spanning *cycles* of engine execution (and book it)."""
@@ -39,6 +57,11 @@ class EngineClock:
         duration = self.spec.seconds_for(cycles)
         self._busy_time += duration
         self.cycles_by_tag[tag] = self.cycles_by_tag.get(tag, 0.0) + cycles
+        if self._stall_pending > 0.0:
+            stall, self._stall_pending = self._stall_pending, 0.0
+            self.stalled_time += stall
+            self.stalls_taken += 1
+            duration += stall
         return self.sim.timeout(duration)
 
     def charge(self, cycles: float, tag: str = "work") -> float:

@@ -98,6 +98,21 @@ class CellFifo:
         return None
 
     @property
+    def fill_fraction(self) -> float:
+        """Instantaneous occupancy as a fraction of depth (backpressure)."""
+        return len(self._store) / self.depth_cells
+
+    @property
+    def cells_offered(self) -> int:
+        """Everything pushed at the FIFO: accepted plus overflowed.
+
+        ``cells_in`` counts only *accepted* cells (a rejected ``try_put``
+        never reaches the store's put ledger), so the two buckets are
+        disjoint and this sum never double-counts a dropped cell.
+        """
+        return self.cells_in + self.overflows.count
+
+    @property
     def loss_ratio(self) -> float:
-        offered = self.cells_in + self.overflows.count
+        offered = self.cells_offered
         return self.overflows.count / offered if offered else 0.0

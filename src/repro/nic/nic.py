@@ -30,6 +30,7 @@ from repro.atm.errors import LossModel
 from repro.atm.oam import LoopbackCell, OamFormatError
 from repro.atm.link import LinkSpec, PhysicalLink
 from repro.atm.vc import ServiceClass, VcTable, VirtualConnection
+from repro.aal.interface import ReassemblyFailure
 from repro.aal.reassembly import ReassemblyTimerWheel
 from repro.host.bus import SystemBus
 from repro.host.cpu import HostCpu
@@ -69,6 +70,14 @@ class NicStats:
     pdus_discarded: int
     host_cycles_total: float
     interrupts_delivered: int
+    # graceful-degradation counters (zero unless a FrameDiscardPolicy
+    # or reassembly quota is configured)
+    cells_epd_discarded: int = 0
+    cells_ppd_discarded: int = 0
+    frames_discarded_early: int = 0
+    frames_truncated: int = 0
+    cells_hec_discarded: int = 0
+    contexts_quota_evicted: int = 0
 
 
 class HostNetworkInterface:
@@ -137,10 +146,13 @@ class HostNetworkInterface:
             self.rx_buffers,
             cam=self.cam,
             glue=self.sar_glue,
+            discard=config.frame_discard,
+            context_quota=config.reassembly_quota,
             name=f"{name}.rx",
         )
         self.rx_engine.on_completion = self._on_completion
         self.rx_engine.on_context_activity = self._touch_context
+        self.rx_engine.on_context_evicted = self._evicted_context
         self.rx_engine.on_oam = self._handle_oam
         self._oam_pending: Dict[int, Tuple[Event, float]] = {}
         self._oam_correlations = itertools.count(1)
@@ -310,6 +322,11 @@ class HostNetworkInterface:
     def _expire_context(self, vc: VcAddress) -> None:
         self.rx_engine.expire_context(vc)
 
+    def _evicted_context(self, vc: VcAddress) -> None:
+        # Quota eviction already closed the reassembler context; only
+        # the timer needs disarming.
+        self.reassembly_timers.disarm(vc)
+
     # -- observability ------------------------------------------------------------
 
     def stats(self) -> NicStats:
@@ -332,6 +349,14 @@ class HostNetworkInterface:
             pdus_discarded=reasm.pdus_discarded,
             host_cycles_total=self.cpu.total_cycles,
             interrupts_delivered=self.interrupts.delivered.count,
+            cells_epd_discarded=self.rx_engine.cells_epd_discarded.count,
+            cells_ppd_discarded=self.rx_engine.cells_ppd_discarded.count,
+            frames_discarded_early=self.rx_engine.frames_discarded_early.count,
+            frames_truncated=self.rx_engine.frames_truncated.count,
+            cells_hec_discarded=self.rx_engine.cells_hec_discarded.count,
+            contexts_quota_evicted=reasm.failures.get(
+                ReassemblyFailure.QUOTA, 0
+            ),
         )
 
 

@@ -14,11 +14,24 @@ Loss behaviour is faithful to the hardware:
 - adaptor buffer exhaustion drops the cell (the PDU then fails its
   CRC/length check -- same as network loss);
 - host buffer-pool exhaustion drops the completed PDU.
+
+Graceful degradation under overload (:class:`FrameDiscardPolicy`): a
+cell lost at the interface ruins its whole frame anyway, so spending
+FIFO slots and engine cycles on the frame's remaining cells only
+steals capacity from frames that could still be delivered intact.
+**Early Packet Discard** refuses whole frames at admission once the
+FIFO or buffer memory crosses a pressure threshold; **Partial Packet
+Discard** stops admitting a frame the moment one of its cells is
+dropped, letting only the EOF through so the reassembler still sees
+the frame boundary.  Every discarded cell lands in an itemised
+counter, which is what lets :mod:`repro.faults.audit` prove cell
+conservation end to end.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Set
 
 from repro.aal.interface import ReassemblyFailure, SduIndication
 from repro.atm.addressing import VcAddress
@@ -37,6 +50,32 @@ from repro.sim.core import Simulator
 from repro.sim.monitor import Counter, ThroughputMeter, WelfordStat
 
 
+@dataclass(frozen=True)
+class FrameDiscardPolicy:
+    """EPD/PPD configuration for the receive path.
+
+    *epd*: refuse whole frames at their first cell once the FIFO fill
+    fraction reaches *fifo_threshold* or buffer-memory free space falls
+    below *bufmem_reserve_cells*.  *ppd*: once a frame loses a cell at
+    the interface (FIFO overflow or buffer exhaustion), drop its
+    remaining cells at admission, passing only the EOF through so the
+    reassembler still delineates frames.
+    """
+
+    epd: bool = True
+    ppd: bool = True
+    #: FIFO fill fraction at which EPD engages (0.5 = half full).
+    fifo_threshold: float = 0.5
+    #: EPD also engages when free buffer memory drops below this.
+    bufmem_reserve_cells: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fifo_threshold <= 1.0:
+            raise ValueError("fifo_threshold must be in (0, 1]")
+        if self.bufmem_reserve_cells < 0:
+            raise ValueError("bufmem_reserve_cells must be >= 0")
+
+
 class RxEngine:
     """The programmable reassembly engine."""
 
@@ -52,6 +91,8 @@ class RxEngine:
         buffer_pool: BufferPool,
         cam: Optional[Cam] = None,
         glue: Optional[SarGlue] = None,
+        discard: Optional[FrameDiscardPolicy] = None,
+        context_quota: Optional[int] = None,
         name: str = "rx",
     ) -> None:
         self.sim = sim
@@ -64,13 +105,31 @@ class RxEngine:
         self.buffer_pool = buffer_pool
         self.cam = cam
         self.glue = glue if glue is not None else Aal5Glue()
+        self.discard = discard
         self.name = name
         self.reassembler = self.glue.make_reassembler()
+        if context_quota is not None:
+            if not hasattr(self.reassembler, "max_contexts"):
+                raise ValueError(
+                    f"{type(self.reassembler).__name__} does not support "
+                    "a reassembly-context quota"
+                )
+            self.reassembler.max_contexts = context_quota
+            self.reassembler.on_evict = self._quota_evicted
+        # Admission-side frame state for EPD/PPD: which VCs are mid-frame
+        # (some cells of the current frame admitted) and which are being
+        # frame-discarded ('epd' = nothing admitted, kill the EOF too;
+        # 'ppd' = partially admitted, pass the EOF for delineation).
+        self._mid_frame: Set[VcAddress] = set()
+        self._discarding: Dict[VcAddress, str] = {}
         #: Called with each RxCompletion once the PDU sits in host memory.
         self.on_completion: Optional[Callable[[RxCompletion], None]] = None
         #: Called with the VC address whenever a partial PDU makes
         #: progress; the owner uses it to (re)arm reassembly timers.
         self.on_context_activity: Optional[Callable[[VcAddress], None]] = None
+        #: Called with the VC address when the quota evicts its context;
+        #: the owner uses it to disarm the reassembly timer.
+        self.on_context_evicted: Optional[Callable[[VcAddress], None]] = None
         #: Called with each management (OAM) cell; the owner implements
         #: the loopback function.
         self.on_oam: Optional[Callable[[AtmCell], None]] = None
@@ -78,8 +137,15 @@ class RxEngine:
         self.oam_cells = Counter(f"{name}.oam-cells")
         self.cells_unknown_vc = Counter(f"{name}.unknown-vc")
         self.cells_no_buffer = Counter(f"{name}.no-adaptor-buffer")
+        self.cells_hec_discarded = Counter(f"{name}.hec-discard")
+        self.cells_epd_discarded = Counter(f"{name}.epd-discard")
+        self.cells_ppd_discarded = Counter(f"{name}.ppd-discard")
+        self.frames_discarded_early = Counter(f"{name}.epd-frames")
+        self.frames_truncated = Counter(f"{name}.ppd-frames")
         self.pdus_delivered = Counter(f"{name}.pdus")
+        self.cells_delivered_to_host = Counter(f"{name}.cells-to-host")
         self.pdus_no_host_buffer = Counter(f"{name}.no-host-buffer")
+        self.cells_no_host_buffer = Counter(f"{name}.no-host-buffer-cells")
         self.throughput = ThroughputMeter(sim)
         #: Last-cell arrival to host-memory delivery, per PDU.
         self.completion_latency = WelfordStat()
@@ -91,9 +157,87 @@ class RxEngine:
 
     # -- link side -------------------------------------------------------------
 
+    def _epd_pressure(self) -> bool:
+        """Admission pressure check: engage EPD before the hard overflow."""
+        policy = self.discard
+        if policy is None or not policy.epd:
+            return False
+        if self.fifo.fill_fraction >= policy.fifo_threshold:
+            return True
+        return policy.bufmem_reserve_cells > 0 and self.bufmem.under_pressure(
+            policy.bufmem_reserve_cells
+        )
+
     def receive_cell(self, cell: AtmCell) -> None:
-        """Cell sink for the incoming link; full FIFO drops the cell."""
-        self.fifo.try_put(cell)
+        """Cell sink for the incoming link; full FIFO drops the cell.
+
+        This is the hardware admission point, so the EPD/PPD frame
+        filter lives here: it costs no engine cycles, exactly like the
+        comparator logic in front of a real receive FIFO.  Delineation
+        state tracks *admitted* cells only -- a frame whose EOF
+        overflowed stays open in the reassembler and merges with its
+        successor, which is AAL5's documented failure mode and not
+        something admission logic can repair.
+        """
+        if cell.meta.get("hec_error"):
+            # The framer's HEC check rejects the cell before the FIFO;
+            # an uncorrectable header is never worth a FIFO slot.
+            self.cells_hec_discarded.increment()
+            return
+        if not cell.is_user_cell:
+            # Management cells bypass the frame filter (they carry no
+            # frame structure); a full FIFO still drops them.
+            self.fifo.try_put(cell)
+            return
+        vc = VcAddress(cell.vpi, cell.vci)
+        eof = self.glue.is_eof(cell)
+        mode = self._discarding.get(vc)
+        if mode is not None:
+            if not eof:
+                counter = (
+                    self.cells_epd_discarded
+                    if mode == "epd"
+                    else self.cells_ppd_discarded
+                )
+                counter.increment()
+                return
+            del self._discarding[vc]
+            self._mid_frame.discard(vc)
+            if mode == "epd":
+                # Nothing of this frame was admitted: killing the EOF
+                # too leaves the reassembler perfectly unaware of it.
+                self.cells_epd_discarded.increment()
+                return
+            # PPD: admit the EOF so the (truncated) frame delineates.
+            if not self.fifo.try_put(cell):
+                pass  # overflow counted by the FIFO; frames may merge
+            return
+
+        first = vc not in self._mid_frame
+        if first and self._epd_pressure():
+            self.frames_discarded_early.increment()
+            self.cells_epd_discarded.increment()
+            if not eof:
+                self._discarding[vc] = "epd"
+            return
+
+        if self.fifo.try_put(cell):
+            if eof:
+                self._mid_frame.discard(vc)
+            else:
+                self._mid_frame.add(vc)
+            return
+
+        # Hard overflow (counted by the FIFO).  With PPD, convert the
+        # now-doomed frame's remaining cells into admission discards.
+        policy = self.discard
+        if eof:
+            self._mid_frame.discard(vc)
+        elif policy is not None and policy.ppd:
+            self.frames_truncated.increment()
+            # A holed first cell means nothing was admitted: the whole
+            # frame (EOF included) can vanish cleanly, as in EPD.
+            self._discarding[vc] = "epd" if first else "ppd"
 
     # -- engine loop -------------------------------------------------------------
 
@@ -161,6 +305,18 @@ class RxEngine:
             # cell exactly like network loss would.
             if not self.bufmem.grow(("rx", vc), 1):
                 self.cells_no_buffer.increment()
+                # The frame is now holed; with PPD, stop admitting its
+                # remaining cells (only while the frame is still open at
+                # admission -- its EOF may already have been accepted).
+                if (
+                    self.discard is not None
+                    and self.discard.ppd
+                    and not self.glue.is_eof(cell)
+                    and vc in self._mid_frame
+                    and vc not in self._discarding
+                ):
+                    self.frames_truncated.increment()
+                    self._discarding[vc] = "ppd"
                 continue
             self.bufmem.record_write(PAYLOAD_SIZE)
 
@@ -197,6 +353,7 @@ class RxEngine:
             if host_buffer is not None:
                 self.buffer_pool.release(host_buffer)
             self.pdus_no_host_buffer.increment()
+            self.cells_no_host_buffer.increment(indication.cells)
             return
         self.sim.process(
             self._dma_and_deliver(vc, last_cell, indication, host_buffer, arrived)
@@ -226,12 +383,19 @@ class RxEngine:
             posted_at=last_cell.meta.get("posted_at"),
         )
         self.pdus_delivered.increment()
+        self.cells_delivered_to_host.increment(indication.cells)
         self.throughput.account(indication.size)
         self.completion_latency.add(self.sim.now - arrived)
         if self.on_completion is not None:
             self.on_completion(completion)
 
     # -- hygiene ---------------------------------------------------------------
+
+    def _quota_evicted(self, vc: VcAddress) -> None:
+        """Reassembler quota evicted *vc*: reclaim its buffer and timer."""
+        self.bufmem.release(("rx", vc))
+        if self.on_context_evicted is not None:
+            self.on_context_evicted(vc)
 
     def expire_context(self, vc: VcAddress) -> bool:
         """Reassembly-timeout hook: abort a stale partial PDU."""

@@ -1157,6 +1157,85 @@ def run_a4(
 
 
 # ---------------------------------------------------------------------------
+# R1: graceful degradation -- goodput under cell loss, EPD/PPD on vs off
+# ---------------------------------------------------------------------------
+
+def run_r1(
+    config: Optional[NicConfig] = None,
+    loss_rates: Sequence[float] = (0.0, 0.005, 0.01, 0.02, 0.05),
+    n_vcs: int = 8,
+    sdu_size: int = 8192,
+    window: float = 0.01,
+    seed: int = 7,
+) -> ExperimentResult:
+    """R1: goodput vs cell-loss rate with frame discard on vs off.
+
+    The receive path is overloaded on purpose: an interleaved wire at
+    OC-12c rate through a lossy link, against the default 25 MHz engine
+    that cannot keep up (DESIGN.md F7).  Without frame discard every
+    FIFO overflow holes a *random* frame, so nearly all frames die at
+    the CRC check while their surviving cells still burn engine cycles.
+    EPD/PPD converts the same cell budget into whole delivered frames:
+    refused frames cost nothing, admitted frames arrive intact.
+    """
+    import random as _random
+
+    from repro.atm.errors import UniformLoss
+    from repro.nic.rx import FrameDiscardPolicy
+
+    base = lab_host(config if config is not None else aurora_oc12())
+    policies = (
+        ("discard_off_mbps", None),
+        ("epd_ppd_mbps", FrameDiscardPolicy()),
+    )
+    series = Series(name="goodput under loss", x_label="cell_loss_rate")
+    gains: Dict[float, List[float]] = {}
+    for p in loss_rates:
+        point = {}
+        for label, policy in policies:
+            cfg = replace(base, frame_discard=policy)
+            sim = Simulator()
+            nic = HostNetworkInterface(sim, cfg, name="rxhost")
+            received: List = []
+            nic.on_pdu = received.append
+            for i in range(n_vcs):
+                nic.open_vc(address=VcAddress(0, 100 + i))
+            nic.start()
+            link = PhysicalLink(
+                sim,
+                cfg.link,
+                sink=nic.rx_input,
+                loss_model=UniformLoss(p, rng=_random.Random(seed)),
+                name="lossy-wire",
+            )
+            source = InterleavedCellSource(
+                sim,
+                sink=link.send,
+                link=cfg.link,
+                n_vcs=n_vcs,
+                sdu_size=sdu_size,
+            )
+            source.start()
+            sim.run(until=window)
+            point[label] = windowed_goodput_mbps(received, window / 4, window)
+        series.add_point(p, **point)
+        gains[p] = [point["discard_off_mbps"], point["epd_ppd_mbps"]]
+    result = ExperimentResult(
+        experiment_id="R1",
+        title=f"Goodput under cell loss, EPD/PPD vs none ({base.link.name})",
+        series=series,
+    )
+    for p, (off, on) in gains.items():
+        result.metrics[f"epd_gain_mbps_at_{p:g}"] = on - off
+    result.notes.append(
+        "frame discard turns random cell holes into whole-frame drops: "
+        "the engine spends its limited cycles only on frames that can "
+        "still be delivered intact"
+    )
+    return result
+
+
+# ---------------------------------------------------------------------------
 # registry
 # ---------------------------------------------------------------------------
 
@@ -1177,6 +1256,7 @@ EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
     "A2": run_a2,
     "A3": run_a3,
     "A4": run_a4,
+    "R1": run_r1,
 }
 
 

@@ -54,6 +54,44 @@ class TestTimerWheel:
         wheel.stop()
         assert expired == ["vc-1"]  # expires once touching stops
 
+    def test_expiry_fires_exactly_once_per_stranded_context(self, sim):
+        """A stranded key fires once, then stays gone through later sweeps."""
+        expired = []
+        wheel = ReassemblyTimerWheel(
+            sim, timeout=0.3, tick=0.05, on_expire=expired.append
+        )
+        keys = [f"vc-{i}" for i in range(5)]
+        for key in keys:
+            wheel.arm(key)
+        wheel.start()
+        sim.run(until=5.0)  # dozens of sweeps past every deadline
+        wheel.stop()
+        assert sorted(expired) == sorted(keys)
+        assert wheel.expirations.count == len(keys)
+        assert len(wheel) == 0
+
+    def test_touch_slides_only_the_touched_key(self, sim):
+        """touch() is per-key: the sibling still expires exactly once."""
+        expired = []
+        wheel = ReassemblyTimerWheel(
+            sim, timeout=0.5, tick=0.05, on_expire=expired.append
+        )
+        wheel.arm("busy")
+        wheel.arm("stranded")
+        wheel.start()
+
+        def toucher():
+            for _ in range(20):
+                yield sim.timeout(0.2)
+                wheel.touch("busy")
+
+        sim.process(toucher())
+        sim.run(until=3.0)
+        assert expired == ["stranded"]
+        sim.run(until=6.0)
+        wheel.stop()
+        assert expired == ["stranded", "busy"]
+
     def test_expiry_precision_is_one_tick(self, sim):
         expired_at = []
         wheel = ReassemblyTimerWheel(

@@ -4,13 +4,27 @@ import random
 
 import pytest
 
-from repro.atm import AtmCell, BitErrorModel, GilbertElliottLoss, UniformLoss
+from repro.atm import (
+    AtmCell,
+    BitErrorModel,
+    CompositeLoss,
+    GilbertElliottLoss,
+    ScheduledLoss,
+    TailLoss,
+    UniformLoss,
+)
+from repro.atm.addressing import VcAddress
+from repro.atm.cell import PTI_USER_SDU1
 
 PAYLOAD = bytes(48)
 
 
 def cell():
     return AtmCell(vpi=0, vci=100, payload=PAYLOAD)
+
+
+def eof_cell(vci=100):
+    return AtmCell(vpi=0, vci=vci, payload=PAYLOAD, pti=PTI_USER_SDU1)
 
 
 class TestUniformLoss:
@@ -20,6 +34,23 @@ class TestUniformLoss:
         drops = sum(model.should_drop(cell(), 0.0) for _ in range(n))
         assert drops / n == pytest.approx(0.2, abs=0.02)
         assert model.observed_rate == pytest.approx(drops / n)
+
+    @pytest.mark.parametrize("p", [0.005, 0.05, 0.5])
+    def test_observed_rate_matches_p_under_fixed_seed(self, p):
+        """Property: for any p, the empirical rate tracks p (seeded)."""
+        model = UniformLoss(p, random.Random(99))
+        n = 50_000
+        for _ in range(n):
+            model.should_drop(cell(), 0.0)
+        assert model.offered == n
+        assert model.observed_rate == pytest.approx(p, rel=0.15)
+
+    def test_same_seed_same_drop_sequence(self):
+        a = UniformLoss(0.3, random.Random(7))
+        b = UniformLoss(0.3, random.Random(7))
+        seq_a = [a.should_drop(cell(), 0.0) for _ in range(2_000)]
+        seq_b = [b.should_drop(cell(), 0.0) for _ in range(2_000)]
+        assert seq_a == seq_b
 
     def test_zero_probability_never_drops(self, rng):
         model = UniformLoss(0.0, rng)
@@ -38,6 +69,24 @@ class TestGilbertElliott:
         n = 60_000
         drops = sum(model.should_drop(cell(), 0.0) for _ in range(n))
         assert drops / n == pytest.approx(model.steady_state_loss, rel=0.15)
+
+    @pytest.mark.parametrize(
+        "p_gb,p_bg",
+        [(0.005, 0.25), (0.02, 0.1), (0.05, 0.5)],
+    )
+    def test_convergence_to_stationary_probability(self, p_gb, p_bg):
+        """Property: long-run loss converges to the chain's pi_bad."""
+        model = GilbertElliottLoss(
+            p_good_to_bad=p_gb,
+            p_bad_to_good=p_bg,
+            loss_in_bad=1.0,
+            rng=random.Random(4242),
+        )
+        n = 120_000
+        drops = sum(model.should_drop(cell(), 0.0) for _ in range(n))
+        pi_bad = p_gb / (p_gb + p_bg)
+        assert model.steady_state_loss == pytest.approx(pi_bad)
+        assert drops / n == pytest.approx(pi_bad, rel=0.15)
 
     def test_losses_are_bursty(self, rng):
         model = GilbertElliottLoss(
@@ -99,3 +148,61 @@ class TestBitError:
     def test_validation(self):
         with pytest.raises(ValueError):
             BitErrorModel(-0.1)
+
+
+class TestScheduledLoss:
+    def test_only_drops_inside_window(self):
+        model = ScheduledLoss(UniformLoss(1.0, random.Random(1)), 1.0, 2.0)
+        assert not model.should_drop(cell(), 0.5)
+        assert model.should_drop(cell(), 1.0)  # start is inclusive
+        assert model.should_drop(cell(), 1.5)
+        assert not model.should_drop(cell(), 2.0)  # stop is exclusive
+        assert model.offered == 4 and model.dropped == 2
+
+    def test_inner_state_frozen_outside_window(self):
+        inner = GilbertElliottLoss(0.5, 0.5, loss_in_bad=1.0, rng=random.Random(3))
+        model = ScheduledLoss(inner, 1.0, 2.0)
+        for _ in range(1_000):
+            model.should_drop(cell(), 0.0)
+        # Outside the window the chain never advanced or counted.
+        assert inner.offered == 0 and not inner.in_bad
+
+    def test_inverted_window_rejected(self):
+        with pytest.raises(ValueError):
+            ScheduledLoss(UniformLoss(0.1), 2.0, 1.0)
+
+
+class TestCompositeLoss:
+    def test_first_model_claims_the_cell(self):
+        always = UniformLoss(1.0, random.Random(1))
+        shadowed = UniformLoss(1.0, random.Random(2))
+        model = CompositeLoss([always, shadowed])
+        assert model.should_drop(cell(), 0.0)
+        assert always.dropped == 1
+        assert shadowed.offered == 0  # never consulted
+
+    def test_later_models_see_survivors(self):
+        never = UniformLoss(0.0)
+        always = UniformLoss(1.0, random.Random(1))
+        model = CompositeLoss().add(never).add(always)
+        assert model.should_drop(cell(), 0.0)
+        assert never.offered == 1 and always.dropped == 1
+
+    def test_empty_composite_passes_everything(self):
+        model = CompositeLoss()
+        assert not any(model.should_drop(cell(), 0.0) for _ in range(10))
+
+
+class TestTailLoss:
+    def test_drops_only_targeted_eof_cells(self):
+        model = TailLoss(VcAddress(0, 100), pdu_indices=(1,))
+        assert not model.should_drop(cell(), 0.0)  # mid-frame cell
+        assert not model.should_drop(eof_cell(), 0.0)  # PDU 0 survives
+        assert model.should_drop(eof_cell(), 0.0)  # PDU 1 loses its tail
+        assert not model.should_drop(eof_cell(), 0.0)  # PDU 2 survives
+        assert model.dropped == 1
+
+    def test_other_vcs_untouched(self):
+        model = TailLoss(VcAddress(0, 100), pdu_indices=(0,))
+        assert not model.should_drop(eof_cell(vci=101), 0.0)
+        assert model.should_drop(eof_cell(vci=100), 0.0)

@@ -85,6 +85,32 @@ class TestCellFifo:
         with pytest.raises(ValueError):
             CellFifo(sim, depth_cells=0)
 
+    def test_dropped_cell_never_counted_as_accepted(self, sim):
+        """Accounting invariant: cells_in and overflows are disjoint.
+
+        A rejected try_put must not leak into the accepted ledger, or
+        the conservation audit would double-count every dropped cell.
+        """
+        fifo = CellFifo(sim, depth_cells=3)
+        for _ in range(10):
+            fifo.try_put(cell())
+        assert fifo.cells_in == 3
+        assert fifo.overflows.count == 7
+        assert fifo.cells_offered == 10
+        # Draining changes neither input-side bucket.
+        while fifo.try_get() is not None:
+            pass
+        assert fifo.cells_in == 3 and fifo.overflows.count == 7
+        assert fifo.cells_out == 3
+        assert fifo.loss_ratio == pytest.approx(0.7)
+
+    def test_fill_fraction(self, sim):
+        fifo = CellFifo(sim, depth_cells=4)
+        assert fifo.fill_fraction == 0.0
+        fifo.try_put(cell())
+        fifo.try_put(cell())
+        assert fifo.fill_fraction == pytest.approx(0.5)
+
 
 class TestCam:
     def test_install_lookup_remove(self):
@@ -119,6 +145,15 @@ class TestCam:
     def test_validation(self):
         with pytest.raises(ValueError):
             Cam(capacity=0)
+
+    def test_fault_hook_forces_misses(self):
+        cam = Cam(capacity=4)
+        cam.install("k", 1)
+        cam.fault_hook = lambda key: key == "k"
+        assert cam.lookup("k") is None
+        assert cam.forced_misses == 1 and cam.misses == 1
+        cam.fault_hook = None
+        assert cam.lookup("k") == 1  # entry was never actually lost
 
 
 class TestBufferMemory:
@@ -162,6 +197,13 @@ class TestBufferMemory:
         single = BufferMemorySpec(100, 4, 25e6, dual_ported=False)
         dual = BufferMemorySpec(100, 4, 25e6, dual_ported=True)
         assert dual.total_bandwidth_bps == 2 * single.total_bandwidth_bps
+
+    def test_fill_fraction_and_pressure(self, sim):
+        mem = AdaptorBufferMemory(sim, self.spec(cells=10))
+        mem.allocate("ctx", 8)
+        assert mem.fill_fraction == pytest.approx(0.8)
+        assert mem.under_pressure(reserve_cells=3)  # only 2 free
+        assert not mem.under_pressure(reserve_cells=2)
 
     def test_validation(self, sim):
         with pytest.raises(ValueError):
