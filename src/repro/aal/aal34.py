@@ -218,8 +218,21 @@ class Aal34Reassembler:
     ) -> None:
         self.deliver = deliver
         self.max_cells = max_cells
+        #: Observability hook: called as ``on_discard(vc, why, cells)``
+        #: whenever a PDU's cells are finally written off (at the settle
+        #: point, so the cell count is complete) -- drop tracing attaches
+        #: here.
+        self.on_discard: Optional[
+            Callable[[VcAddress, ReassemblyFailure, int], None]
+        ] = None
         self.stats = ReassemblyStats()
         self._contexts: Dict[Tuple[VcAddress, int], _MidContext] = {}
+
+    def _notify_discard(
+        self, vc: VcAddress, why: ReassemblyFailure, cells: int
+    ) -> None:
+        if self.on_discard is not None:
+            self.on_discard(vc, why, cells)
 
     def active_contexts(self) -> int:
         return len(self._contexts)
@@ -258,13 +271,15 @@ class Aal34Reassembler:
                 self.stats.count_failure(
                     ReassemblyFailure.PROTOCOL, cells=context.cells
                 )
+                self._notify_discard(
+                    vc, ReassemblyFailure.PROTOCOL, context.cells
+                )
             elif context is not None and context.poisoned:
                 # A poisoned PDU is replaced before its EOM resync: its
                 # accumulated cells settle into the poisoning failure.
-                self.stats.count_discarded_cells(
-                    context.poison_reason or ReassemblyFailure.PROTOCOL,
-                    context.cells,
-                )
+                reason = context.poison_reason or ReassemblyFailure.PROTOCOL
+                self.stats.count_discarded_cells(reason, context.cells)
+                self._notify_discard(vc, reason, context.cells)
             context = _MidContext(started_at=now)
             self._contexts[key] = context
             context.next_sn = (sn + 1) % _SN_MODULUS
@@ -296,10 +311,9 @@ class Aal34Reassembler:
         if st is SarSegmentType.EOM:
             if context.poisoned:
                 del self._contexts[key]
-                self.stats.count_discarded_cells(
-                    context.poison_reason or ReassemblyFailure.PROTOCOL,
-                    context.cells,
-                )
+                reason = context.poison_reason or ReassemblyFailure.PROTOCOL
+                self.stats.count_discarded_cells(reason, context.cells)
+                self._notify_discard(vc, reason, context.cells)
                 return None
             return self._complete(key, context, now)
         return None
@@ -315,9 +329,13 @@ class Aal34Reassembler:
             self.stats.count_failure(
                 ReassemblyFailure.TAG_MISMATCH, cells=context.cells
             )
+            self._notify_discard(
+                key[0], ReassemblyFailure.TAG_MISMATCH, context.cells
+            )
             return None
         except CpcsFormatError:
             self.stats.count_failure(ReassemblyFailure.LENGTH, cells=context.cells)
+            self._notify_discard(key[0], ReassemblyFailure.LENGTH, context.cells)
             return None
         vc, mid = key
         indication = SduIndication(
@@ -340,9 +358,10 @@ class Aal34Reassembler:
         if context.poisoned:
             # The PDU was already counted as a failure when poisoned;
             # only the cell disposition is still outstanding.
-            self.stats.count_discarded_cells(
-                context.poison_reason or why, context.cells
-            )
+            reason = context.poison_reason or why
+            self.stats.count_discarded_cells(reason, context.cells)
+            self._notify_discard(vc, reason, context.cells)
         else:
             self.stats.count_failure(why, cells=context.cells)
+            self._notify_discard(vc, why, context.cells)
         return True

@@ -155,8 +155,21 @@ class Aal5Reassembler:
         #: Called with the evicted VC (after the context is gone) so the
         #: owner can reclaim buffer memory and timers.
         self.on_evict: Optional[Callable[[VcAddress], None]] = None
+        #: Observability hook: called as ``on_discard(vc, why, cells)``
+        #: for every PDU the reassembler gives up on, alongside the
+        #: stats ledger -- this is where drop *tracing* attaches.
+        self.on_discard: Optional[
+            Callable[[VcAddress, ReassemblyFailure, int], None]
+        ] = None
         self.stats = ReassemblyStats()
         self._partial: Dict[VcAddress, _PartialPdu] = {}
+
+    def _discarded(
+        self, vc: VcAddress, why: ReassemblyFailure, cells: int
+    ) -> None:
+        self.stats.count_failure(why, cells=cells)
+        if self.on_discard is not None:
+            self.on_discard(vc, why, cells)
 
     def active_contexts(self) -> int:
         """Number of VCs with a PDU currently mid-reassembly."""
@@ -179,7 +192,7 @@ class Aal5Reassembler:
         """Make room for a new context: QUOTA-discard the oldest one."""
         victim = next(iter(self._partial))  # insertion order == open order
         partial = self._partial.pop(victim)
-        self.stats.count_failure(ReassemblyFailure.QUOTA, cells=partial.cells)
+        self._discarded(victim, ReassemblyFailure.QUOTA, partial.cells)
         if self.on_evict is not None:
             self.on_evict(victim)
 
@@ -201,7 +214,7 @@ class Aal5Reassembler:
 
         if partial.cells > self.max_cells:
             del self._partial[vc]
-            self.stats.count_failure(ReassemblyFailure.OVERSIZE, cells=partial.cells)
+            self._discarded(vc, ReassemblyFailure.OVERSIZE, partial.cells)
             return None
         if not cell.end_of_frame:
             return None
@@ -211,10 +224,10 @@ class Aal5Reassembler:
         try:
             sdu, uu, _cpi = parse_cpcs_pdu(pdu)
         except CpcsCrcError:
-            self.stats.count_failure(ReassemblyFailure.CRC, cells=partial.cells)
+            self._discarded(vc, ReassemblyFailure.CRC, partial.cells)
             return None
         except CpcsLengthError:
-            self.stats.count_failure(ReassemblyFailure.LENGTH, cells=partial.cells)
+            self._discarded(vc, ReassemblyFailure.LENGTH, partial.cells)
             return None
         indication = SduIndication(
             vc=vc,
@@ -235,7 +248,7 @@ class Aal5Reassembler:
         partial = self._partial.pop(vc, None)
         if partial is None:
             return False
-        self.stats.count_failure(why, cells=partial.cells)
+        self._discarded(vc, why, partial.cells)
         return True
 
     def context_age(self, vc: VcAddress, now: float) -> Optional[float]:

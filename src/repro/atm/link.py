@@ -109,6 +109,8 @@ class PhysicalLink:
         self.cells_sent = Counter(f"{self.name}.sent")
         self.cells_delivered = Counter(f"{self.name}.delivered")
         self.cells_lost = Counter(f"{self.name}.lost")
+        #: Observability hook (repro.obs): a TraceRecorder, or None.
+        self.trace = None
 
     def connect(self, sink: CellSink) -> None:
         """Attach (or replace) the receiving end."""
@@ -122,9 +124,16 @@ class PhysicalLink:
         self._next_free = done
         self._busy_time += self.spec.cell_time
         self.cells_sent.increment()
+        if self.trace is not None:
+            self.trace.emit("link.cell.sent", actor=self.name, cell=cell)
 
         if self.loss_model.should_drop(cell, now):
             self.cells_lost.increment()
+            if self.trace is not None:
+                self.trace.emit(
+                    "cell.drop", actor=self.name, cell=cell,
+                    reason="link_lost",
+                )
         else:
             if self.error_model is not None:
                 cell = self.error_model.maybe_corrupt(cell)
@@ -139,6 +148,8 @@ class PhysicalLink:
 
     def _deliver(self, cell: AtmCell) -> None:
         self.cells_delivered.increment()
+        if self.trace is not None:
+            self.trace.emit("link.cell.delivered", actor=self.name, cell=cell)
         if self.sink is None:
             raise RuntimeError(f"{self.name} has no sink attached")
         receive = getattr(self.sink, "receive_cell", None)

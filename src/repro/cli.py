@@ -5,6 +5,11 @@ Usage::
     python -m repro --list
     python -m repro T1 F2 F3
     python -m repro --all
+    python -m repro trace f2 --out trace.json
+
+The ``trace`` subcommand re-runs an experiment's scenario fully
+instrumented (see :mod:`repro.obs`) and exports a Perfetto-loadable
+trace plus sampled metrics.
 """
 
 from __future__ import annotations
@@ -41,6 +46,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "trace":
+        from repro.obs.runner import main as trace_main
+
+        return trace_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.list:
         for experiment_id, runner in EXPERIMENTS.items():

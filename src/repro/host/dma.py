@@ -53,6 +53,8 @@ class DmaEngine:
         self.transfers = Counter(f"{name}.transfers")
         self.bytes_moved = Counter(f"{name}.bytes")
         self.latency = WelfordStat()
+        #: Observability hook (repro.obs): a TraceRecorder, or None.
+        self.trace = None
 
     def transfer(self, nbytes: int) -> Event:
         """Event firing when *nbytes* have fully moved across the bus."""
@@ -64,6 +66,8 @@ class DmaEngine:
         started = self.sim.now
         grant = self._channel.request()
         yield grant
+        if self.trace is not None:
+            self.trace.emit("dma.start", actor=self.name, bytes=nbytes)
         yield self.sim.timeout(self.spec.setup_time)
         if nbytes > 0:
             yield self.bus.transfer(nbytes, master=self.name)
@@ -72,6 +76,11 @@ class DmaEngine:
         self.transfers.increment()
         self.bytes_moved.increment(nbytes)
         self.latency.add(self.sim.now - started)
+        if self.trace is not None:
+            self.trace.emit(
+                "dma.done", actor=self.name, bytes=nbytes,
+                latency=self.sim.now - started,
+            )
         return nbytes
 
     @property

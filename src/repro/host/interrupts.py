@@ -62,6 +62,8 @@ class InterruptController:
         self.raised = Counter(f"{name}.raised")
         self.delivered = Counter(f"{name}.delivered")
         self.spurious = Counter(f"{name}.spurious")
+        #: Observability hook (repro.obs): a TraceRecorder, or None.
+        self.trace = None
         self._pending: list[tuple[float, Optional[Callable[[], None]]]] = []
         self._pending_events: list[Event] = []
         self._delivery_scheduled = False
@@ -73,6 +75,8 @@ class InterruptController:
     ) -> Event:
         """Assert the device interrupt; event fires when handling is done."""
         self.raised.increment()
+        if self.trace is not None:
+            self.trace.emit("irq.raised", actor=self.name)
         done = self.sim.event()
         self._pending.append((handler_cycles, handler))
         self._pending_events.append(done)
@@ -101,6 +105,10 @@ class InterruptController:
         self._pending_events = []
         self._delivery_scheduled = False
         self.delivered.increment()
+        if self.trace is not None:
+            self.trace.emit(
+                "irq.delivered", actor=self.name, batch=len(batch)
+            )
         total_handler = sum(cycles for cycles, _fn in batch)
         total = self.spec.entry_cycles + total_handler + self.spec.exit_cycles
         yield self.cpu.execute(total, tag="interrupt")

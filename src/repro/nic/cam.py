@@ -40,6 +40,9 @@ class Cam(Generic[K, V]):
         #: misses are tallied separately from genuine ones.
         self.fault_hook: Optional[Callable[[K], bool]] = None
         self.forced_misses = 0
+        #: Observability hook (repro.obs): a TraceRecorder, or None.
+        #: Lookups then emit ``rx.cam.hit`` / ``rx.cam.miss`` events.
+        self.trace = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -69,12 +72,20 @@ class Cam(Generic[K, V]):
         if self.fault_hook is not None and self.fault_hook(key):
             self.forced_misses += 1
             self.misses += 1
+            if self.trace is not None:
+                self.trace.emit(
+                    "rx.cam.miss", actor=self.name, vc=key, forced=True
+                )
             return None
         value = self._entries.get(key)
         if value is None and key not in self._entries:
             self.misses += 1
+            if self.trace is not None:
+                self.trace.emit("rx.cam.miss", actor=self.name, vc=key)
             return None
         self.hits += 1
+        if self.trace is not None:
+            self.trace.emit("rx.cam.hit", actor=self.name, vc=key)
         return value
 
     @property

@@ -147,6 +147,32 @@ class TxCostModel:
             "trailer_build": self.trailer_build,
         }
 
+    def cell_breakdown(self, position: CellPosition) -> Dict[str, float]:
+        """The operations actually executed for one cell at *position*.
+
+        Sums to :meth:`cell_cycles`; the profiler attributes live engine
+        cycles to operations through this map.
+        """
+        ops: Dict[str, float] = {
+            "cell_build": self.cell_build,
+            "buffer_advance": self.buffer_advance,
+            "fifo_push": self.fifo_push,
+        }
+        if self.crc_per_cell:
+            ops["crc_per_cell"] = self.crc_per_cell
+        if position in (CellPosition.LAST, CellPosition.ONLY):
+            ops["trailer_build"] = self.trailer_build
+        return ops
+
+    def pdu_breakdown(self) -> Dict[str, float]:
+        """The once-per-PDU operations (sums to :meth:`pdu_cycles`)."""
+        return {
+            "descriptor_fetch": self.descriptor_fetch,
+            "dma_setup": self.dma_setup,
+            "header_template_load": self.header_template_load,
+            "completion_writeback": self.completion_writeback,
+        }
+
     def with_software_crc(self, cycles_per_cell: int = 130) -> "TxCostModel":
         """Ablation: CRC done by the engine instead of hardware."""
         return replace(self, crc_per_cell=cycles_per_cell)
@@ -246,6 +272,43 @@ class RxCostModel:
             "context_open": self.context_open,
             "final_check": self.final_check,
             "completion": self.completion,
+        }
+
+    def cell_breakdown(
+        self,
+        position: CellPosition,
+        cam_fitted: bool = True,
+        table_size: int = 0,
+    ) -> Dict[str, float]:
+        """The operations actually executed for one cell at *position*.
+
+        Sums to :meth:`cell_cycles`; the profiler attributes live engine
+        cycles to operations through this map.  The lookup op is named
+        for the assist actually used.
+        """
+        lookup_op = "vci_lookup_cam" if cam_fitted else "vci_lookup_software"
+        ops: Dict[str, float] = {
+            "fifo_pop": self.fifo_pop,
+            "header_parse": self.header_parse,
+            lookup_op: self.lookup_cycles(cam_fitted, table_size),
+            "context_update": self.context_update,
+            "payload_store": self.payload_store,
+        }
+        if self.crc_per_cell:
+            ops["crc_per_cell"] = self.crc_per_cell
+        if position in (CellPosition.FIRST, CellPosition.ONLY):
+            ops["context_open"] = self.context_open
+        if position in (CellPosition.LAST, CellPosition.ONLY):
+            ops["final_check"] = self.final_check
+            ops["completion"] = self.completion
+        return ops
+
+    def oam_breakdown(self) -> Dict[str, float]:
+        """The operations for one management cell."""
+        return {
+            "fifo_pop": self.fifo_pop,
+            "header_parse": self.header_parse,
+            "oam_handling": self.oam_handling,
         }
 
     def with_software_crc(self, cycles_per_cell: int = 130) -> "RxCostModel":

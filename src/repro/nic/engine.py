@@ -36,6 +36,9 @@ class EngineClock:
         self.stalled_time = 0.0
         #: Number of injected stalls absorbed.
         self.stalls_taken = 0
+        #: Observability hook (repro.obs): a TraceRecorder, or None.
+        #: Each ``work()`` call then becomes an ``engine.work`` span.
+        self.trace = None
 
     def request_stall(self, duration: float) -> None:
         """Fault-injection hook: freeze the engine for *duration* seconds.
@@ -57,11 +60,20 @@ class EngineClock:
         duration = self.spec.seconds_for(cycles)
         self._busy_time += duration
         self.cycles_by_tag[tag] = self.cycles_by_tag.get(tag, 0.0) + cycles
+        if self.trace is not None:
+            self.trace.emit(
+                "engine.work", actor=self.name, tag=tag, cycles=cycles,
+                dur=duration,
+            )
         if self._stall_pending > 0.0:
             stall, self._stall_pending = self._stall_pending, 0.0
             self.stalled_time += stall
             self.stalls_taken += 1
             duration += stall
+            if self.trace is not None:
+                self.trace.emit(
+                    "engine.stall", actor=self.name, dur=stall,
+                )
         return self.sim.timeout(duration)
 
     def charge(self, cycles: float, tag: str = "work") -> float:

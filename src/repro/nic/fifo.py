@@ -35,6 +35,8 @@ class CellFifo:
         self._store = Store(sim, capacity=depth_cells, name=name)
         self.occupancy = TimeWeightedStat(sim.now, 0)
         self.overflows = Counter(f"{name}.overflow")
+        #: Observability hook (repro.obs): a TraceRecorder, or None.
+        self.trace = None
 
     def __len__(self) -> int:
         return len(self._store)
@@ -61,11 +63,23 @@ class CellFifo:
         """Blocking push (TX side): the event fires once space exists."""
         ev = self._store.put(cell)
         self.occupancy.record(self.sim.now, len(self._store))
-        if not ev.triggered:
+        if ev.triggered:
+            if self.trace is not None:
+                self.trace.emit(
+                    "fifo.enq", actor=self.name, cell=cell,
+                    occupancy=len(self._store),
+                )
+        else:
             # The producer is stalled; sample again once accepted.
-            ev.add_callback(
-                lambda _ev: self.occupancy.record(self.sim.now, len(self._store))
-            )
+            def accepted(_ev: Event) -> None:
+                self.occupancy.record(self.sim.now, len(self._store))
+                if self.trace is not None:
+                    self.trace.emit(
+                        "fifo.enq", actor=self.name, cell=cell,
+                        occupancy=len(self._store),
+                    )
+
+            ev.add_callback(accepted)
         return ev
 
     def try_put(self, cell: AtmCell) -> bool:
@@ -73,8 +87,18 @@ class CellFifo:
         accepted = self._store.try_put(cell)
         if accepted:
             self.occupancy.record(self.sim.now, len(self._store))
+            if self.trace is not None:
+                self.trace.emit(
+                    "fifo.enq", actor=self.name, cell=cell,
+                    occupancy=len(self._store),
+                )
         else:
             self.overflows.increment()
+            if self.trace is not None:
+                self.trace.emit(
+                    "cell.drop", actor=self.name, cell=cell,
+                    reason="fifo_overflow",
+                )
         return accepted
 
     # -- consumer side ---------------------------------------------------------
@@ -83,8 +107,13 @@ class CellFifo:
         """Blocking pop: the event fires with the next cell."""
         ev = self._store.get()
 
-        def sample(_ev: Event) -> None:
+        def sample(got: Event) -> None:
             self.occupancy.record(self.sim.now, len(self._store))
+            if self.trace is not None:
+                self.trace.emit(
+                    "fifo.deq", actor=self.name, cell=got.value,
+                    occupancy=len(self._store),
+                )
 
         ev.add_callback(sample)
         return ev
@@ -94,6 +123,11 @@ class CellFifo:
         ok, cell = self._store.try_get()
         if ok:
             self.occupancy.record(self.sim.now, len(self._store))
+            if self.trace is not None:
+                self.trace.emit(
+                    "fifo.deq", actor=self.name, cell=cell,
+                    occupancy=len(self._store),
+                )
             return cell
         return None
 

@@ -169,6 +169,9 @@ class HostNetworkInterface:
         #: User callback: invoked with each RxCompletion after the host
         #: OS receive path has run.
         self.on_pdu: Optional[Callable[[RxCompletion], None]] = None
+        #: Observability hook (repro.obs): a TraceRecorder, or None.
+        #: Set by :meth:`attach_trace` alongside every subcomponent.
+        self.trace = None
         self._started = False
 
     # -- lifecycle -----------------------------------------------------------
@@ -188,6 +191,30 @@ class HostNetworkInterface:
     def attach_tx_link(self, link: PhysicalLink) -> None:
         """Point the transmit framer at an outbound link."""
         self.framer.attach(link)
+        if self.trace is not None:
+            link.trace = self.trace
+
+    def attach_trace(self, recorder) -> None:
+        """Wire a :class:`repro.obs.trace.TraceRecorder` through the
+        whole interface: both engines, both FIFOs, both engine clocks,
+        the CAM, both DMA movers, the interrupt controller, and the
+        outbound link if one is already attached.  Pass ``None`` to
+        detach.  Duck-typed so this package never imports ``repro.obs``.
+        """
+        self.trace = recorder
+        self.tx_engine.trace = recorder
+        self.rx_engine.trace = recorder
+        self.tx_fifo.trace = recorder
+        self.rx_fifo.trace = recorder
+        self.tx_clock.trace = recorder
+        self.rx_clock.trace = recorder
+        if self.cam is not None:
+            self.cam.trace = recorder
+        self.tx_dma.trace = recorder
+        self.rx_dma.trace = recorder
+        self.interrupts.trace = recorder
+        if self.framer.link is not None:
+            self.framer.link.trace = recorder
 
     @property
     def rx_input(self):
@@ -309,6 +336,15 @@ class HostNetworkInterface:
         # Recycle the host buffer: the OS copied it out.
         if completion.buffer is not None:
             self.rx_buffers.release(completion.buffer)
+        if self.trace is not None:
+            self.trace.emit(
+                "host.pdu.delivered",
+                actor=self.name,
+                vc=completion.vc,
+                size=completion.size,
+                cells=completion.cells,
+                latency=self.sim.now - completion.received_at,
+            )
         if self.on_pdu is not None:
             self.on_pdu(completion)
 

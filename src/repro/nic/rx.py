@@ -149,7 +149,25 @@ class RxEngine:
         self.throughput = ThroughputMeter(sim)
         #: Last-cell arrival to host-memory delivery, per PDU.
         self.completion_latency = WelfordStat()
+        #: Observability hooks (repro.obs): a TraceRecorder and a
+        #: CycleProfiler, or None.  Duck-typed -- the NIC package never
+        #: imports the obs package.
+        self.trace = None
+        self.profiler = None
+        if hasattr(self.reassembler, "on_discard"):
+            self.reassembler.on_discard = self._reassembly_discarded
         self._process = None
+
+    def _reassembly_discarded(self, vc, why, cells: int) -> None:
+        """Reassembler gave up on a PDU: trace the drop with its cause."""
+        if self.trace is not None:
+            self.trace.emit(
+                "pdu.drop",
+                actor=self.name,
+                vc=vc,
+                reason=why.value,
+                cells=cells,
+            )
 
     @property
     def cam_fitted(self) -> bool:
@@ -183,6 +201,10 @@ class RxEngine:
             # The framer's HEC check rejects the cell before the FIFO;
             # an uncorrectable header is never worth a FIFO slot.
             self.cells_hec_discarded.increment()
+            if self.trace is not None:
+                self.trace.emit(
+                    "cell.drop", actor=self.name, cell=cell, reason="hec"
+                )
             return
         if not cell.is_user_cell:
             # Management cells bypass the frame filter (they carry no
@@ -200,6 +222,10 @@ class RxEngine:
                     else self.cells_ppd_discarded
                 )
                 counter.increment()
+                if self.trace is not None:
+                    self.trace.emit(
+                        "cell.drop", actor=self.name, cell=cell, reason=mode
+                    )
                 return
             del self._discarding[vc]
             self._mid_frame.discard(vc)
@@ -207,6 +233,10 @@ class RxEngine:
                 # Nothing of this frame was admitted: killing the EOF
                 # too leaves the reassembler perfectly unaware of it.
                 self.cells_epd_discarded.increment()
+                if self.trace is not None:
+                    self.trace.emit(
+                        "cell.drop", actor=self.name, cell=cell, reason="epd"
+                    )
                 return
             # PPD: admit the EOF so the (truncated) frame delineates.
             if not self.fifo.try_put(cell):
@@ -217,6 +247,11 @@ class RxEngine:
         if first and self._epd_pressure():
             self.frames_discarded_early.increment()
             self.cells_epd_discarded.increment()
+            if self.trace is not None:
+                self.trace.emit("rx.frame.epd", actor=self.name, vc=vc)
+                self.trace.emit(
+                    "cell.drop", actor=self.name, cell=cell, reason="epd"
+                )
             if not eof:
                 self._discarding[vc] = "epd"
             return
@@ -235,6 +270,8 @@ class RxEngine:
             self._mid_frame.discard(vc)
         elif policy is not None and policy.ppd:
             self.frames_truncated.increment()
+            if self.trace is not None:
+                self.trace.emit("rx.frame.truncated", actor=self.name, vc=vc)
             # A holed first cell means nothing was admitted: the whole
             # frame (EOF included) can vanish cleanly, as in EPD.
             self._discarding[vc] = "epd" if first else "ppd"
@@ -268,11 +305,15 @@ class RxEngine:
             # unit (hardware-assisted) handles them so the host never
             # sees a cell.
             if not cell.is_user_cell:
+                if self.profiler is not None:
+                    self.profiler.record_oam(costs.oam_breakdown())
                 yield self.clock.work(
                     costs.fifo_pop + costs.header_parse + costs.oam_handling,
                     tag="rx-oam",
                 )
                 self.oam_cells.increment()
+                if self.trace is not None:
+                    self.trace.emit("rx.cell.oam", actor=self.name, cell=cell)
                 if self.on_oam is not None:
                     self.on_oam(cell)
                 continue
@@ -285,6 +326,22 @@ class RxEngine:
             else:
                 known = self.vc_table.lookup(vc) is not None
             if not known:
+                if self.profiler is not None:
+                    lookup_op = (
+                        "vci_lookup_cam"
+                        if self.cam_fitted
+                        else "vci_lookup_software"
+                    )
+                    self.profiler.record_ops(
+                        "rx",
+                        {
+                            "fifo_pop": costs.fifo_pop,
+                            "header_parse": costs.header_parse,
+                            lookup_op: costs.lookup_cycles(
+                                self.cam_fitted, table_size
+                            ),
+                        },
+                    )
                 yield self.clock.work(
                     costs.fifo_pop
                     + costs.header_parse
@@ -292,19 +349,47 @@ class RxEngine:
                     tag="rx-unknown-vc",
                 )
                 self.cells_unknown_vc.increment()
+                if self.trace is not None:
+                    self.trace.emit(
+                        "cell.drop",
+                        actor=self.name,
+                        cell=cell,
+                        reason="unknown_vc",
+                    )
                 continue
 
             position = self._position_of(vc, cell)
+            if self.profiler is not None:
+                self.profiler.record_cell(
+                    "rx",
+                    position,
+                    costs.cell_breakdown(position, self.cam_fitted, table_size),
+                    extra=self.glue.rx_extra_cycles,
+                )
             yield self.clock.work(
                 costs.cell_cycles(position, self.cam_fitted, table_size)
                 + self.glue.rx_extra_cycles,
                 tag="rx-cell",
             )
+            if self.trace is not None:
+                self.trace.emit(
+                    "rx.cell.sar",
+                    actor=self.name,
+                    cell=cell,
+                    position=position.value,
+                )
 
             # Payload into adaptor buffer memory; exhaustion loses the
             # cell exactly like network loss would.
             if not self.bufmem.grow(("rx", vc), 1):
                 self.cells_no_buffer.increment()
+                if self.trace is not None:
+                    self.trace.emit(
+                        "cell.drop",
+                        actor=self.name,
+                        cell=cell,
+                        reason="no_adaptor_buffer",
+                    )
                 # The frame is now holed; with PPD, stop admitting its
                 # remaining cells (only while the frame is still open at
                 # admission -- its EOF may already have been accepted).
@@ -347,6 +432,14 @@ class RxEngine:
         arrived = self.sim.now
         self.bufmem.record_read(indication.size)
         self.bufmem.release(("rx", vc))
+        if self.trace is not None:
+            self.trace.emit(
+                "rx.pdu.done",
+                actor=self.name,
+                cell=last_cell,
+                cells=indication.cells,
+                size=indication.size,
+            )
 
         host_buffer = self.buffer_pool.allocate(owner=str(vc))
         if host_buffer is None or host_buffer.capacity < indication.size:
@@ -354,6 +447,14 @@ class RxEngine:
                 self.buffer_pool.release(host_buffer)
             self.pdus_no_host_buffer.increment()
             self.cells_no_host_buffer.increment(indication.cells)
+            if self.trace is not None:
+                self.trace.emit(
+                    "pdu.drop",
+                    actor=self.name,
+                    cell=last_cell,
+                    reason="no_host_buffer",
+                    cells=indication.cells,
+                )
             return
         self.sim.process(
             self._dma_and_deliver(vc, last_cell, indication, host_buffer, arrived)
@@ -394,6 +495,8 @@ class RxEngine:
     def _quota_evicted(self, vc: VcAddress) -> None:
         """Reassembler quota evicted *vc*: reclaim its buffer and timer."""
         self.bufmem.release(("rx", vc))
+        if self.trace is not None:
+            self.trace.emit("rx.context.evicted", actor=self.name, vc=vc)
         if self.on_context_evicted is not None:
             self.on_context_evicted(vc)
 

@@ -74,6 +74,11 @@ class TxEngine:
         self.throughput = ThroughputMeter(sim)
         #: Descriptor-posted to completion-writeback time per PDU.
         self.service_time = WelfordStat()
+        #: Observability hooks (repro.obs): a TraceRecorder and a
+        #: CycleProfiler, or None.  Duck-typed -- the NIC package never
+        #: imports the obs package.
+        self.trace = None
+        self.profiler = None
         self._process = None
 
     def start(self) -> None:
@@ -102,6 +107,14 @@ class TxEngine:
         while True:
             descriptor: TxDescriptor = yield self.ring.take()
             started = self.sim.now
+            if self.trace is not None:
+                self.trace.emit(
+                    "tx.pdu.posted",
+                    actor=self.name,
+                    pdu_id=descriptor.pdu_id,
+                    vc=descriptor.vc,
+                    size=descriptor.size,
+                )
 
             # Per-PDU prologue: parse the descriptor, load the VC header
             # template, program the host-memory DMA.
@@ -118,9 +131,24 @@ class TxEngine:
             n_cells = self.glue.cells_for(descriptor.size)
             while not self.bufmem.allocate(staging, n_cells):
                 self.pdus_stalled_for_buffer.increment()
+                if self.trace is not None:
+                    self.trace.emit(
+                        "tx.pdu.bufstall",
+                        actor=self.name,
+                        pdu_id=descriptor.pdu_id,
+                        vc=descriptor.vc,
+                    )
                 yield self.sim.timeout(self.fifo.depth_cells * 1e-7)
             yield self.dma.transfer(descriptor.size)
             self.bufmem.record_write(descriptor.size)
+            if self.trace is not None:
+                self.trace.emit(
+                    "tx.pdu.staged",
+                    actor=self.name,
+                    pdu_id=descriptor.pdu_id,
+                    vc=descriptor.vc,
+                    cells=n_cells,
+                )
 
             # Segment (functionally real cells) and emit.
             segmenter = self._segmenter_for(descriptor.vc)
@@ -131,6 +159,13 @@ class TxEngine:
             cell_interval = self._pacing_interval(descriptor.vc)
             for index, cell in enumerate(cells):
                 position = CellPosition.of(index, total)
+                if self.profiler is not None:
+                    self.profiler.record_cell(
+                        "tx",
+                        position,
+                        costs.cell_breakdown(position),
+                        extra=self.glue.tx_extra_cycles,
+                    )
                 yield self.clock.work(
                     costs.cell_cycles(position) + self.glue.tx_extra_cycles,
                     tag="tx-cell",
@@ -143,6 +178,14 @@ class TxEngine:
                     slot = self._next_slot.get(descriptor.vc, 0.0)
                     if self.sim.now < slot:
                         self.pacing_stalls.increment()
+                        if self.trace is not None:
+                            self.trace.emit(
+                                "tx.cell.paced",
+                                actor=self.name,
+                                pdu_id=descriptor.pdu_id,
+                                vc=descriptor.vc,
+                                delay=slot - self.sim.now,
+                            )
                         yield self.sim.timeout(slot - self.sim.now)
                     self._next_slot[descriptor.vc] = (
                         max(self.sim.now, slot) + cell_interval
@@ -150,6 +193,14 @@ class TxEngine:
                 self.bufmem.record_read(PAYLOAD_SIZE)
                 cell.meta["pdu_id"] = descriptor.pdu_id
                 cell.meta["posted_at"] = descriptor.posted_at
+                if self.trace is not None:
+                    self.trace.tag_cell(cell)
+                    self.trace.emit(
+                        "tx.cell.sar",
+                        actor=self.name,
+                        cell=cell,
+                        position=position.value,
+                    )
                 yield self.fifo.put(cell)
                 self.cells_sent.increment()
 
@@ -161,6 +212,17 @@ class TxEngine:
             self.pdus_sent.increment()
             self.throughput.account(descriptor.size)
             self.service_time.add(self.sim.now - started)
+            if self.profiler is not None:
+                self.profiler.record_pdu("tx", costs.pdu_breakdown())
+            if self.trace is not None:
+                self.trace.emit(
+                    "tx.pdu.done",
+                    actor=self.name,
+                    pdu_id=descriptor.pdu_id,
+                    vc=descriptor.vc,
+                    cells=total,
+                    service_time=self.sim.now - started,
+                )
             if self.on_pdu_sent is not None:
                 self.on_pdu_sent(descriptor)
 

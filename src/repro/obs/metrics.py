@@ -1,0 +1,420 @@
+"""Unified metrics: named counters/gauges/histograms over live objects.
+
+`NicStats` is an end-of-run snapshot; the FIFOs, buffer memory, engine
+clocks and the fault auditor's conservation ledger each keep their own
+ad-hoc tallies.  A :class:`MetricsRegistry` puts one namespace over all
+of them: every metric is a *name* bound to a zero-argument reader over
+the live object, with a declared kind (``counter`` / ``gauge`` /
+``histogram``) and unit.  Because readers observe the live objects,
+registration is free on the hot path -- nothing in the pipeline knows
+the registry exists.
+
+On top of the namespace the registry offers:
+
+- :meth:`MetricsRegistry.snapshot` -- read every metric now;
+- :meth:`MetricsRegistry.start_sampling` -- a simulation process that
+  snapshots every *period* seconds into per-metric
+  :class:`~repro.sim.monitor.SeriesRecorder` time series;
+- :meth:`MetricsRegistry.to_json` / :meth:`MetricsRegistry.to_csv` --
+  export the snapshot and the sampled series.
+
+``instrument_interface`` / ``instrument_link`` / ``instrument_auditor``
+register the standard metric set for the corresponding object; see
+``docs/OBSERVABILITY.md`` for the full name list.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, IO, List, Optional, Union
+
+from repro.sim.monitor import SeriesRecorder
+
+#: Legal values for :attr:`Metric.kind`.
+KINDS = ("counter", "gauge", "histogram")
+
+
+@dataclass
+class Metric:
+    """One named observable: a reader over a live object."""
+
+    name: str
+    read: Callable[[], Any]
+    kind: str = "gauge"
+    unit: str = ""
+    description: str = ""
+
+    def value(self) -> Any:
+        return self.read()
+
+
+class MetricsRegistry:
+    """A namespace of metrics with snapshotting and periodic sampling."""
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self._metrics: Dict[str, Metric] = {}
+        self.series: Dict[str, SeriesRecorder] = {}
+        self._sampler = None
+        self.samples_taken = 0
+
+    # -- registration -----------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        read: Callable[[], Any],
+        kind: str = "gauge",
+        unit: str = "",
+        description: str = "",
+    ) -> Metric:
+        if kind not in KINDS:
+            raise ValueError(f"unknown metric kind {kind!r} (use {KINDS})")
+        if name in self._metrics:
+            raise ValueError(f"metric {name!r} already registered")
+        metric = Metric(name, read, kind, unit, description)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, read, unit: str = "", description: str = ""):
+        return self.register(name, read, "counter", unit, description)
+
+    def gauge(self, name: str, read, unit: str = "", description: str = ""):
+        return self.register(name, read, "gauge", unit, description)
+
+    def histogram(self, name: str, read, unit: str = "", description: str = ""):
+        """Register a reader returning a summary dict (mean/max/quantiles)."""
+        return self.register(name, read, "histogram", unit, description)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def get(self, name: str) -> Metric:
+        return self._metrics[name]
+
+    # -- reading ----------------------------------------------------------
+
+    def read(self, name: str) -> Any:
+        return self._metrics[name].value()
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Read every registered metric right now."""
+        return {name: m.value() for name, m in sorted(self._metrics.items())}
+
+    # -- periodic sampling ------------------------------------------------
+
+    def sample(self) -> None:
+        """Take one time-stamped sample of every scalar metric."""
+        now = self.sim.now
+        self.samples_taken += 1
+        for name, metric in self._metrics.items():
+            value = metric.value()
+            if not isinstance(value, (int, float)):
+                continue  # histograms/dicts are snapshot-only
+            series = self.series.get(name)
+            if series is None:
+                series = self.series[name] = SeriesRecorder(name)
+            series.record(now, float(value))
+
+    def start_sampling(self, period: float) -> None:
+        """Launch a sim process sampling every *period* seconds."""
+        if period <= 0:
+            raise ValueError("sampling period must be positive")
+        if self._sampler is not None:
+            raise RuntimeError("sampling already started")
+
+        def _pump():
+            while True:
+                self.sample()
+                yield self.sim.timeout(period)
+
+        self._sampler = self.sim.process(_pump())
+
+    # -- export -----------------------------------------------------------
+
+    def to_json(
+        self, destination: Optional[Union[str, IO[str]]] = None
+    ) -> str:
+        """Snapshot + sampled series as a JSON document."""
+        document = {
+            "now": self.sim.now,
+            "metrics": [
+                {
+                    "name": m.name,
+                    "kind": m.kind,
+                    "unit": m.unit,
+                    "description": m.description,
+                    "value": m.value(),
+                }
+                for m in (self._metrics[n] for n in self.names())
+            ],
+            "series": {
+                name: {"times": s.times, "values": s.values}
+                for name, s in sorted(self.series.items())
+            },
+        }
+        text = json.dumps(document, indent=2, sort_keys=True)
+        if destination is not None:
+            if isinstance(destination, str):
+                with open(destination, "w", encoding="utf-8") as handle:
+                    handle.write(text)
+            else:
+                destination.write(text)
+        return text
+
+    def to_csv(
+        self, destination: Optional[Union[str, IO[str]]] = None
+    ) -> str:
+        """Sampled time series as CSV: one time column, one per metric.
+
+        Sampling happens for every metric at the same instants, so the
+        series share a time base; any metric registered after sampling
+        began is right-aligned with empty leading fields.
+        """
+        names = sorted(self.series)
+        if not names:
+            text = "t\n"
+        else:
+            times = self.series[names[0]].times
+            for name in names:
+                if len(self.series[name].times) > len(times):
+                    times = self.series[name].times
+            rows = ["t," + ",".join(names)]
+            for i, t in enumerate(times):
+                fields = [f"{t:.9f}"]
+                for name in names:
+                    series = self.series[name]
+                    offset = len(times) - len(series.times)
+                    j = i - offset
+                    fields.append(f"{series.values[j]:g}" if j >= 0 else "")
+                rows.append(",".join(fields))
+            text = "\n".join(rows) + "\n"
+        if destination is not None:
+            if isinstance(destination, str):
+                with open(destination, "w", encoding="utf-8") as handle:
+                    handle.write(text)
+            else:
+                destination.write(text)
+        return text
+
+
+# ---------------------------------------------------------------------------
+# standard instrumentations
+# ---------------------------------------------------------------------------
+
+
+def instrument_interface(
+    registry: MetricsRegistry, nic, prefix: Optional[str] = None
+) -> None:
+    """Register the standard metric set for a `HostNetworkInterface`.
+
+    Covers every live pipeline counter (the superset of what a
+    `NicStats` snapshot flattens) plus the gauges a snapshot cannot
+    carry: FIFO occupancy/fill, adaptor buffer-memory fill, engine
+    utilisation, and DMA backlogs.
+    """
+    p = f"{prefix or nic.name}."
+    tx, rx = nic.tx_engine, nic.rx_engine
+
+    def count_of(counter):
+        return lambda: counter.count
+
+    for name, counter, description in (
+        ("tx.pdus_sent", tx.pdus_sent, "PDUs segmented and completed"),
+        ("tx.cells_sent", tx.cells_sent, "cells pushed into the TX FIFO"),
+        ("tx.pacing_stalls", tx.pacing_stalls, "cells delayed by pacing"),
+        (
+            "tx.buffer_stalls",
+            tx.pdus_stalled_for_buffer,
+            "PDUs that waited for adaptor buffer memory",
+        ),
+        ("rx.cells_received", rx.cells_received, "cells popped by RX engine"),
+        ("rx.oam_cells", rx.oam_cells, "management cells consumed"),
+        ("rx.cells_unknown_vc", rx.cells_unknown_vc, "cells for unopened VCs"),
+        (
+            "rx.cells_no_adaptor_buffer",
+            rx.cells_no_buffer,
+            "cells lost to adaptor buffer exhaustion",
+        ),
+        ("rx.cells_hec_discarded", rx.cells_hec_discarded, "HEC rejects"),
+        ("rx.cells_epd_discarded", rx.cells_epd_discarded, "EPD discards"),
+        ("rx.cells_ppd_discarded", rx.cells_ppd_discarded, "PPD discards"),
+        (
+            "rx.frames_discarded_early",
+            rx.frames_discarded_early,
+            "whole frames refused by EPD",
+        ),
+        ("rx.frames_truncated", rx.frames_truncated, "frames PPD truncated"),
+        ("rx.pdus_delivered", rx.pdus_delivered, "PDUs DMA'd to the host"),
+        (
+            "rx.cells_delivered_to_host",
+            rx.cells_delivered_to_host,
+            "cells riding delivered PDUs",
+        ),
+        (
+            "rx.pdus_no_host_buffer",
+            rx.pdus_no_host_buffer,
+            "completed PDUs dropped for lack of a host buffer",
+        ),
+        ("irq.raised", nic.interrupts.raised, "device interrupt assertions"),
+        (
+            "irq.delivered",
+            nic.interrupts.delivered,
+            "interrupt deliveries (post-coalescing)",
+        ),
+    ):
+        registry.counter(
+            p + name, count_of(counter), unit="events", description=description
+        )
+
+    registry.gauge(
+        p + "tx.throughput_mbps",
+        lambda: tx.throughput.megabits_per_second(),
+        unit="Mb/s",
+        description="TX goodput since start",
+    )
+    registry.gauge(
+        p + "rx.throughput_mbps",
+        lambda: rx.throughput.megabits_per_second(),
+        unit="Mb/s",
+        description="RX goodput since start",
+    )
+    registry.gauge(
+        p + "tx_fifo.occupancy",
+        lambda: len(nic.tx_fifo),
+        unit="cells",
+        description="instantaneous TX FIFO depth",
+    )
+    registry.gauge(
+        p + "rx_fifo.occupancy",
+        lambda: len(nic.rx_fifo),
+        unit="cells",
+        description="instantaneous RX FIFO depth",
+    )
+    registry.gauge(
+        p + "rx_fifo.fill",
+        lambda: nic.rx_fifo.fill_fraction,
+        unit="fraction",
+        description="RX FIFO fill fraction (EPD threshold input)",
+    )
+    registry.counter(
+        p + "rx_fifo.overflows",
+        lambda: nic.rx_fifo.overflows.count,
+        unit="cells",
+        description="hard RX FIFO drops",
+    )
+    registry.gauge(
+        p + "bufmem.fill",
+        lambda: nic.buffer_memory.fill_fraction,
+        unit="fraction",
+        description="adaptor buffer memory fill fraction",
+    )
+    registry.gauge(
+        p + "bufmem.used",
+        lambda: nic.buffer_memory.used_cells,
+        unit="cells",
+        description="adaptor buffer memory cells in use",
+    )
+    registry.gauge(
+        p + "tx_engine.utilization",
+        lambda: nic.tx_clock.utilization(),
+        unit="fraction",
+        description="TX engine busy fraction",
+    )
+    registry.gauge(
+        p + "rx_engine.utilization",
+        lambda: nic.rx_clock.utilization(),
+        unit="fraction",
+        description="RX engine busy fraction",
+    )
+    if nic.cam is not None:
+        cam = nic.cam
+        registry.counter(
+            p + "cam.hits",
+            lambda: cam.hits,
+            unit="lookups",
+            description="CAM associative match hits",
+        )
+        registry.counter(
+            p + "cam.misses",
+            lambda: cam.misses,
+            unit="lookups",
+            description="CAM lookup misses (incl. forced)",
+        )
+    registry.gauge(
+        p + "dma.tx_backlog",
+        lambda: nic.tx_dma.backlog,
+        unit="transfers",
+        description="TX DMA transfers in flight or queued",
+    )
+    registry.gauge(
+        p + "dma.rx_backlog",
+        lambda: nic.rx_dma.backlog,
+        unit="transfers",
+        description="RX DMA transfers in flight or queued",
+    )
+
+
+def instrument_link(
+    registry: MetricsRegistry, link, prefix: str = "link."
+) -> None:
+    """Register the wire's conservation counters."""
+    registry.counter(
+        prefix + "cells_sent",
+        lambda: link.cells_sent.count,
+        unit="cells",
+        description="cells serialized onto the link",
+    )
+    registry.counter(
+        prefix + "cells_delivered",
+        lambda: link.cells_delivered.count,
+        unit="cells",
+        description="cells handed to the link's sink",
+    )
+    registry.counter(
+        prefix + "cells_lost",
+        lambda: link.cells_lost.count,
+        unit="cells",
+        description="cells destroyed by the loss model",
+    )
+
+
+def instrument_auditor(
+    registry: MetricsRegistry, auditor, prefix: str = "audit."
+) -> None:
+    """Expose the conservation ledger's buckets as counters.
+
+    Bucket names come from the auditor's snapshot, so the metric set
+    tracks whatever drop causes the campaign actually produces.
+    """
+    registry.gauge(
+        prefix + "offered",
+        lambda: auditor.snapshot().offered,
+        unit="cells",
+        description="cells offered to the wire",
+    )
+    registry.gauge(
+        prefix + "delivered",
+        lambda: auditor.snapshot().delivered,
+        unit="cells",
+        description="cells delivered to the application",
+    )
+    registry.gauge(
+        prefix + "unaccounted",
+        lambda: auditor.snapshot().unaccounted,
+        unit="cells",
+        description="conservation gap (0 when the ledger balances)",
+    )
+    registry.histogram(
+        prefix + "breakdown",
+        lambda: dict(auditor.snapshot().breakdown()),
+        unit="cells",
+        description="per-cause drop attribution",
+    )

@@ -1,0 +1,328 @@
+"""Traced scenario runner behind ``python -m repro trace <experiment>``.
+
+Each traceable experiment rebuilds a small, fully instrumented version
+of the corresponding evaluation scenario: a :class:`TraceRecorder` on
+every pipeline component, a :class:`MetricsRegistry` sampling the live
+counters, and a :class:`CycleProfiler` on the engines.  The run is
+deliberately shorter than the evaluation runs -- a trace is for looking
+at individual cells, not for converged averages -- but uses the same
+configurations, sources, and wiring, so what Perfetto shows is the
+same pipeline the tables measure.
+
+Usage::
+
+    python -m repro trace f2 --out trace.json
+    python -m repro trace r1 --out trace.jsonl --metrics metrics.csv
+
+``--out`` picks the exporter by extension: ``.json`` writes a Chrome
+``trace_event`` file (load it at https://ui.perfetto.dev), ``.jsonl``
+writes one event per line for scripting.  ``--metrics`` does the same
+with ``.csv`` / ``.json``.  The report printed to stdout includes the
+profiler's measured T1'/T2' cycle-budget tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections import Counter as TallyCounter
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    instrument_auditor,
+    instrument_interface,
+    instrument_link,
+)
+from repro.obs.profiler import CycleProfiler, profile_interface
+from repro.obs.trace import TraceRecorder
+from repro.sim.core import Simulator
+
+
+@dataclass
+class TracedRun:
+    """Everything one instrumented run produced."""
+
+    experiment: str
+    title: str
+    sim: Simulator
+    recorder: TraceRecorder
+    registry: MetricsRegistry
+    profiler: CycleProfiler
+    notes: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        """The human-readable report: events, drops, measured budgets."""
+        lines = [
+            f"trace {self.experiment}: {self.title}",
+            f"  simulated {self.sim.now * 1e3:.3f} ms, "
+            f"{len(self.recorder)} events, "
+            f"{self.registry.samples_taken} metric samples",
+        ]
+        tally = TallyCounter(e.name for e in self.recorder.events)
+        top = ", ".join(
+            f"{name} x{count}" for name, count in tally.most_common(6)
+        )
+        if top:
+            lines.append(f"  busiest events: {top}")
+        drops = self.recorder.drop_reasons()
+        if drops:
+            dropped = ", ".join(
+                f"{reason}={count}" for reason, count in sorted(drops.items())
+            )
+            lines.append(f"  drops: {dropped}")
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        rendered = self.profiler.render()
+        if rendered:
+            lines.append("")
+            lines.append(rendered)
+        return "\n".join(lines)
+
+    def export_trace(self, path: str) -> None:
+        """Write the trace; ``.jsonl`` -> JSONL, anything else -> Chrome."""
+        if path.endswith(".jsonl"):
+            self.recorder.export_jsonl(path)
+        else:
+            self.recorder.export_chrome(path)
+
+    def export_metrics(self, path: str) -> None:
+        """Write the metrics; ``.csv`` -> series CSV, else JSON."""
+        if path.endswith(".csv"):
+            self.registry.to_csv(path)
+        else:
+            self.registry.to_json(path)
+
+
+def _instrument_pair(run: TracedRun, *nics) -> None:
+    for nic in nics:
+        nic.attach_trace(run.recorder)
+        profile_interface(nic, run.profiler)
+        instrument_interface(run.registry, nic)
+
+
+def _build_f2(run: TracedRun, sdu_size: int = 9180) -> float:
+    """F2's transmit scenario: greedy sender over a clean point-to-point."""
+    from repro.results.experiments import lab_host
+    from repro.nic.config import aurora_oc3
+    from repro.workloads.generators import GreedySource
+    from repro.workloads.scenarios import build_point_to_point
+
+    config = lab_host(aurora_oc3())
+    scenario = build_point_to_point(run.sim, config)
+    GreedySource(run.sim, scenario.sender, scenario.vc, sdu_size).start()
+    _instrument_pair(run, scenario.sender, scenario.receiver)
+    instrument_link(run.registry, scenario.link_ab, prefix="link_ab.")
+    run.title = f"greedy {sdu_size}-byte transmit over {config.link.name}"
+    run.notes.append(
+        "host software zeroed (lab_host): the trace shows the adaptor "
+        "pipeline the paper budgets"
+    )
+    return 30 * (sdu_size / 48 + 2) * config.link.cell_time
+
+
+def _build_f3(run: TracedRun, sdu_size: int = 9180) -> float:
+    """F3's receive scenario: backlogged wire feeding the RX FIFO."""
+    from repro.aal.aal5 import Aal5Segmenter
+    from repro.atm.addressing import VcAddress
+    from repro.nic.config import aurora_oc3
+    from repro.nic.nic import HostNetworkInterface
+    from repro.results.experiments import lab_host
+    from repro.workloads.generators import make_payload
+
+    config = lab_host(aurora_oc3())
+    nic = HostNetworkInterface(run.sim, config, name="rxhost")
+    received: List = []
+    nic.on_pdu = received.append
+    vc = nic.open_vc(address=VcAddress(0, 100))
+    nic.start()
+    _instrument_pair(run, nic)
+    segmenter = Aal5Segmenter(vc.address)
+    payload = make_payload(sdu_size)
+
+    def feeder():
+        while True:
+            for cell in segmenter.segment(payload):
+                yield run.sim.timeout(config.link.cell_time)
+                run.recorder.tag_cell(cell)
+                yield nic.rx_fifo.put(cell)
+
+    run.sim.process(feeder())
+    run.title = f"backpressured {sdu_size}-byte receive on {config.link.name}"
+    run.notes.append("cells are fed at link rate with upstream buffering")
+    return 30 * (sdu_size / 48 + 2) * config.link.cell_time
+
+
+def _build_r1(
+    run: TracedRun,
+    sdu_size: int = 8192,
+    n_vcs: int = 4,
+    loss_rate: float = 0.02,
+    seed: int = 7,
+) -> float:
+    """R1's lossy overload: EPD/PPD on, conservation auditor attached."""
+    import random as _random
+    from dataclasses import replace
+
+    from repro.atm.addressing import VcAddress
+    from repro.atm.errors import UniformLoss
+    from repro.atm.link import PhysicalLink
+    from repro.faults.audit import CellConservationAuditor
+    from repro.nic.config import aurora_oc12
+    from repro.nic.nic import HostNetworkInterface
+    from repro.nic.rx import FrameDiscardPolicy
+    from repro.results.experiments import lab_host
+    from repro.workloads.scenarios import InterleavedCellSource
+
+    config = replace(
+        lab_host(aurora_oc12()), frame_discard=FrameDiscardPolicy()
+    )
+    nic = HostNetworkInterface(run.sim, config, name="rxhost")
+    received: List = []
+    nic.on_pdu = received.append
+    for i in range(n_vcs):
+        nic.open_vc(address=VcAddress(0, 100 + i))
+    nic.start()
+    _instrument_pair(run, nic)
+    link = PhysicalLink(
+        run.sim,
+        config.link,
+        sink=nic.rx_input,
+        loss_model=UniformLoss(loss_rate, rng=_random.Random(seed)),
+        name="lossy-wire",
+    )
+    link.trace = run.recorder
+    instrument_link(run.registry, link)
+    auditor = CellConservationAuditor(link, nic)
+    instrument_auditor(run.registry, auditor)
+    InterleavedCellSource(
+        run.sim,
+        sink=link.send,
+        link=config.link,
+        n_vcs=n_vcs,
+        sdu_size=sdu_size,
+    ).start()
+    run.title = (
+        f"{n_vcs}-VC overload at {config.link.name}, "
+        f"{loss_rate:.1%} cell loss, EPD/PPD on"
+    )
+    run.notes.append(
+        "watch cell.drop events: every lost/refused cell carries its "
+        "reason, and the audit.* gauges keep the conservation ledger"
+    )
+    return 20 * n_vcs * (sdu_size / 48 + 2) * config.link.cell_time
+
+
+def _build_quickstart(run: TracedRun, sdu_size: int = 4096) -> float:
+    """The examples/quickstart.py exchange, instrumented end to end."""
+    from repro.nic.config import aurora_oc3
+    from repro.workloads.generators import GreedySource
+    from repro.workloads.scenarios import build_point_to_point
+
+    config = aurora_oc3()
+    scenario = build_point_to_point(run.sim, config)
+    GreedySource(
+        run.sim, scenario.sender, scenario.vc, sdu_size, total_pdus=5
+    ).start()
+    _instrument_pair(run, scenario.sender, scenario.receiver)
+    instrument_link(run.registry, scenario.link_ab, prefix="link_ab.")
+    run.title = f"five {sdu_size}-byte PDUs with full host costs"
+    run.notes.append(
+        "host costs are NOT zeroed here: interrupt and driver events "
+        "appear between DMA completion and delivery"
+    )
+    return 10 * (sdu_size / 48 + 2) * config.link.cell_time
+
+
+#: experiment id -> (builder, one-line description).
+TRACEABLE: Dict[str, Tuple[Callable[[TracedRun], float], str]] = {
+    "f2": (_build_f2, "greedy transmit path (F2's scenario)"),
+    "f3": (_build_f3, "backpressured receive path (F3's scenario)"),
+    "r1": (_build_r1, "lossy overload with frame discard (R1's scenario)"),
+    "quickstart": (_build_quickstart, "the README quickstart exchange"),
+}
+
+
+def run_traced(
+    experiment: str,
+    duration: Optional[float] = None,
+    sample_period: Optional[float] = None,
+) -> TracedRun:
+    """Build, instrument, and run one traceable experiment."""
+    key = experiment.lower()
+    entry = TRACEABLE.get(key)
+    if entry is None:
+        raise KeyError(
+            f"unknown traceable experiment {experiment!r}; "
+            f"known: {', '.join(sorted(TRACEABLE))}"
+        )
+    builder, _ = entry
+    sim = Simulator()
+    run = TracedRun(
+        experiment=key,
+        title="",
+        sim=sim,
+        recorder=TraceRecorder(sim),
+        registry=MetricsRegistry(sim),
+        profiler=CycleProfiler(),
+    )
+    default_duration = builder(run)
+    window = duration if duration is not None else default_duration
+    run.registry.start_sampling(
+        sample_period if sample_period is not None else window / 50
+    )
+    sim.run(until=window)
+    run.registry.sample()
+    return run
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-atm trace",
+        description="Run one experiment fully instrumented and export the trace.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(TRACEABLE),
+        help="scenario to trace",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        help="trace output: .json = Chrome/Perfetto, .jsonl = line JSON",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help="metrics output: .csv = sampled series, .json = full snapshot",
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="simulated seconds (default: scenario-appropriate)",
+    )
+    parser.add_argument(
+        "--sample-period",
+        type=float,
+        default=None,
+        help="metric sampling period in simulated seconds",
+    )
+    args = parser.parse_args(argv)
+    run = run_traced(
+        args.experiment,
+        duration=args.duration,
+        sample_period=args.sample_period,
+    )
+    print(run.summary())
+    if args.out:
+        run.export_trace(args.out)
+        print(f"  trace written to {args.out}")
+    if args.metrics:
+        run.export_metrics(args.metrics)
+        print(f"  metrics written to {args.metrics}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1236,6 +1236,75 @@ def run_r1(
 
 
 # ---------------------------------------------------------------------------
+# O1: observability cross-check -- measured cycle budgets vs configured
+# ---------------------------------------------------------------------------
+
+def run_o1(duration: Optional[float] = None) -> ExperimentResult:
+    """O1: the profiler's measured T1/T2 budgets vs the configured ones.
+
+    T1/T2 print what the cost models are *configured* to charge; O1
+    re-derives the same per-position budgets from a live simulation via
+    :class:`repro.obs.CycleProfiler` (attached to both engines of F2's
+    greedy-transmit scenario) and checks they agree.  A nonzero
+    deviation would mean the pipeline charged cycles the budget tables
+    do not show -- exactly the drift the observability layer exists to
+    catch.
+    """
+    from repro.obs.runner import run_traced
+
+    run = run_traced("f2", duration=duration)
+    config = aurora_oc3()
+    headers = [
+        "engine",
+        "cell position",
+        "cells",
+        "configured (cyc)",
+        "measured (cyc)",
+        "deviation (cyc)",
+    ]
+    rows: List[List] = []
+    worst = 0.0
+    for engine, configured_cycles in (
+        ("tx", lambda p: config.tx_costs.cell_cycles(p)),
+        ("rx", lambda p: config.rx_costs.cell_cycles(p, cam_fitted=True)),
+    ):
+        for position in CellPosition:
+            measured = run.profiler.cycles_per_cell(engine, position)
+            if measured is None:
+                continue
+            configured = configured_cycles(position)
+            deviation = measured - configured
+            worst = max(worst, abs(deviation))
+            rows.append(
+                [
+                    engine,
+                    position.value,
+                    run.profiler.cells_at(engine, position),
+                    configured,
+                    measured,
+                    deviation,
+                ]
+            )
+    result = ExperimentResult(
+        experiment_id="O1",
+        title="Measured vs configured engine cycle budgets (live run)",
+        headers=headers,
+        rows=rows,
+    )
+    tx_middle = run.profiler.cycles_per_cell("tx", CellPosition.MIDDLE)
+    rx_middle = run.profiler.cycles_per_cell("rx", CellPosition.MIDDLE)
+    result.metrics["tx_middle_cycles"] = tx_middle or float("nan")
+    result.metrics["rx_middle_cycles"] = rx_middle or float("nan")
+    result.metrics["max_deviation_cycles"] = worst
+    result.metrics["events_traced"] = float(len(run.recorder))
+    result.notes.append(
+        "middle-cell budgets (16 tx / 22 rx with the CAM) measured "
+        "from executed cells, not read from the configuration"
+    )
+    return result
+
+
+# ---------------------------------------------------------------------------
 # registry
 # ---------------------------------------------------------------------------
 
@@ -1257,6 +1326,7 @@ EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
     "A3": run_a3,
     "A4": run_a4,
     "R1": run_r1,
+    "O1": run_o1,
 }
 
 

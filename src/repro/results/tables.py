@@ -55,3 +55,28 @@ def format_series(series: Series, title: str = "") -> str:
     return format_table(
         series.headers(), series.rows(), title=title or series.name
     )
+
+
+def _csv_field(value) -> str:
+    # Numbers stay machine-readable: no thousands separators here.
+    if isinstance(value, float):
+        text = f"{value:g}"
+    elif isinstance(value, str):
+        text = value
+    else:
+        text = str(value)
+    if any(ch in text for ch in ",\"\n"):
+        return '"' + text.replace('"', '""') + '"'
+    return text
+
+
+def format_csv(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render the same table data as RFC-4180-style CSV text."""
+    lines = [",".join(_csv_field(h) for h in headers)]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row of {len(row)} cells under {len(headers)} headers"
+            )
+        lines.append(",".join(_csv_field(v) for v in row))
+    return "\n".join(lines) + "\n"

@@ -162,6 +162,10 @@ class Simulator:
         self._queue: list[tuple[float, int, int, Event]] = []
         self._sequence = 0
         self._running = False
+        #: Lifetime count of events processed -- the kernel's own
+        #: observability counter (exposed as ``sim.events_processed`` by
+        #: the metrics layer; see :mod:`repro.obs.metrics`).
+        self.events_processed = 0
 
     # -- clock -----------------------------------------------------------
 
@@ -202,6 +206,7 @@ class Simulator:
         """Process exactly one event (advancing the clock to it)."""
         when, _priority, _seq, event = heapq.heappop(self._queue)
         self._now = when
+        self.events_processed += 1
         event._process()
 
     def peek(self) -> float:

@@ -245,3 +245,37 @@ def summarize(samples: Iterable[float]) -> WelfordStat:
     for x in samples:
         stat.add(x)
     return stat
+
+
+# -- metric-registry adapters ------------------------------------------------
+#
+# The observability layer (repro.obs.metrics) exports metrics as JSON;
+# these helpers flatten the accumulators above into plain dicts so a
+# WelfordStat or Histogram can be registered as a "histogram"-kind
+# metric without the registry knowing the concrete type.
+
+
+def stat_summary(stat: WelfordStat) -> dict:
+    """A :class:`WelfordStat` as a JSON-safe summary dict."""
+    return {
+        "n": stat.n,
+        "mean": stat.mean,
+        "stdev": stat.stdev,
+        "min": stat.minimum if stat.n else None,
+        "max": stat.maximum if stat.n else None,
+    }
+
+
+def histogram_summary(hist: Histogram) -> dict:
+    """A :class:`Histogram` as a JSON-safe summary dict."""
+    return {
+        "total": hist.total,
+        "underflow": hist.underflow,
+        "overflow": hist.overflow,
+        "p50": hist.quantile(0.5) if hist.total else None,
+        "p99": hist.quantile(0.99) if hist.total else None,
+        "bins": [
+            {"lo": lo, "hi": hi, "count": count}
+            for lo, hi, count in hist.nonzero_bins()
+        ],
+    }

@@ -27,6 +27,18 @@ class TestExamples:
         assert "PDUs delivered       : 5" in out
         assert "one per PDU, not per cell" in out
 
+    def test_quickstart_trace_export(self, capsys, tmp_path, monkeypatch):
+        import json
+
+        trace_path = tmp_path / "quickstart-trace.json"
+        monkeypatch.setattr(
+            sys, "argv", ["quickstart.py", "--trace", str(trace_path)]
+        )
+        out = run_example("quickstart.py", capsys)
+        assert "ui.perfetto.dev" in out
+        document = json.loads(trace_path.read_text())
+        assert document["traceEvents"]
+
     def test_latency_profile(self, capsys):
         out = run_example("latency_profile.py", capsys)
         assert "STS-3c" in out and "STS-12c" in out
