@@ -17,6 +17,18 @@ from typing import Iterable, Optional, Protocol, Sequence
 
 from repro.atm.addressing import VcAddress
 from repro.atm.cell import AtmCell
+from repro.sim.random import RandomStreams
+
+
+def _default_rng(component: str) -> random.Random:
+    """A deterministic, component-named stream for callers that pass none.
+
+    Deriving the default through :class:`RandomStreams` keeps the
+    common-random-numbers discipline even for ad-hoc models: each model
+    class owns a named stream, so adding one model never perturbs the
+    draws of another.
+    """
+    return RandomStreams(0).stream(f"atm.errors.{component}")
 
 
 class LossModel(Protocol):
@@ -41,7 +53,7 @@ class UniformLoss:
         if not 0.0 <= p <= 1.0:
             raise ValueError(f"loss probability {p} outside [0, 1]")
         self.p = p
-        self.rng = rng if rng is not None else random.Random(0)
+        self.rng = rng if rng is not None else _default_rng("UniformLoss")
         self.offered = 0
         self.dropped = 0
 
@@ -85,7 +97,7 @@ class GilbertElliottLoss:
         self.p_bad_to_good = p_bad_to_good
         self.loss_in_bad = loss_in_bad
         self.loss_in_good = loss_in_good
-        self.rng = rng if rng is not None else random.Random(0)
+        self.rng = rng if rng is not None else _default_rng("GilbertElliottLoss")
         self.in_bad = False
         self.offered = 0
         self.dropped = 0
@@ -204,7 +216,7 @@ class BitErrorModel:
         if not 0.0 <= p <= 1.0:
             raise ValueError(f"corruption probability {p} outside [0, 1]")
         self.p = p
-        self.rng = rng if rng is not None else random.Random(0)
+        self.rng = rng if rng is not None else _default_rng("BitErrorModel")
         self.corrupted = 0
 
     def maybe_corrupt(self, cell: AtmCell) -> AtmCell:

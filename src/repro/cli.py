@@ -6,10 +6,13 @@ Usage::
     python -m repro T1 F2 F3
     python -m repro --all
     python -m repro trace f2 --out trace.json
+    python -m repro lint --docs
 
 The ``trace`` subcommand re-runs an experiment's scenario fully
 instrumented (see :mod:`repro.obs`) and exports a Perfetto-loadable
-trace plus sampled metrics.
+trace plus sampled metrics.  The ``lint`` subcommand runs ``simlint``
+(see :mod:`repro.devtools` and docs/STATIC_ANALYSIS.md), the repo's
+static-analysis pass over the simulator's invariants.
 """
 
 from __future__ import annotations
@@ -51,6 +54,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.obs.runner import main as trace_main
 
         return trace_main(argv[1:])
+    if argv and argv[0] == "lint":
+        from repro.devtools.cli import main as lint_main
+
+        return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.list:
         for experiment_id, runner in EXPERIMENTS.items():

@@ -1,0 +1,150 @@
+"""Documentation hygiene checks behind ``python -m repro lint --docs``.
+
+Two invariants, both findings-producing so they ride the same
+reporters and CI artifact as the AST rules:
+
+- **DOC101**: every package and module under ``src/repro`` carries a
+  module docstring (the observability layer made docstrings part of
+  the public API surface, so an undocumented module is a regression);
+- **DOC102**: every relative Markdown link in the repo's documentation
+  resolves to a file that exists -- the top-level ``*.md`` files and
+  everything under ``docs/``.
+
+``tools/check_docs.py`` is a thin shim over this module, kept so the
+historical invocation keeps working.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import List
+
+from repro.devtools.findings import Finding, Severity
+
+# [text](target) -- capture the target; fenced code is stripped first.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def default_repo_root() -> Path:
+    """The repository root, assuming the src-layout checkout."""
+    return Path(__file__).resolve().parents[3]
+
+
+def missing_docstrings(src: Path, repo: Path) -> List[Finding]:
+    """DOC101 findings for undocumented modules under *src*."""
+    findings = []
+    for path in sorted(src.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        try:
+            tree = ast.parse(
+                path.read_text(encoding="utf-8"), filename=str(path)
+            )
+        except SyntaxError as exc:
+            findings.append(
+                Finding(
+                    rule="DOC101",
+                    severity=Severity.ERROR,
+                    path=_rel(path, repo),
+                    line=exc.lineno or 1,
+                    message=f"module does not parse: {exc.msg}",
+                )
+            )
+            continue
+        if ast.get_docstring(tree) is None:
+            findings.append(
+                Finding(
+                    rule="DOC101",
+                    severity=Severity.ERROR,
+                    path=_rel(path, repo),
+                    line=1,
+                    message="missing module docstring",
+                    hint=(
+                        "module docstrings are the narrative API surface; "
+                        "say what the module models and why"
+                    ),
+                )
+            )
+    return findings
+
+
+def _rel(path: Path, repo: Path) -> str:
+    try:
+        return path.resolve().relative_to(repo.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def doc_files(repo: Path) -> List[Path]:
+    files = sorted(repo.glob("*.md"))
+    docs_dir = repo / "docs"
+    if docs_dir.is_dir():
+        files += sorted(docs_dir.glob("*.md"))
+    return files
+
+
+def broken_links(repo: Path) -> List[Finding]:
+    """DOC102 findings for relative Markdown links that do not resolve."""
+    findings = []
+    for doc in doc_files(repo):
+        raw = doc.read_text(encoding="utf-8")
+        text = _FENCE.sub(lambda m: "\n" * m.group(0).count("\n"), raw)
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            for match in _LINK.finditer(line):
+                target = match.group(1)
+                if target.startswith(("http://", "https://", "mailto:")):
+                    continue
+                # Strip any #fragment; empty path = same-file anchor.
+                path_part = target.split("#", 1)[0]
+                if not path_part:
+                    continue
+                resolved = (doc.parent / path_part).resolve()
+                if not resolved.exists():
+                    findings.append(
+                        Finding(
+                            rule="DOC102",
+                            severity=Severity.ERROR,
+                            path=_rel(doc, repo),
+                            line=lineno,
+                            message=f"broken link -> {target}",
+                            hint="fix the path or drop the link",
+                        )
+                    )
+    return findings
+
+
+def check_docs(repo: Path | None = None) -> List[Finding]:
+    """All documentation findings for the repository at *repo*."""
+    repo = repo if repo is not None else default_repo_root()
+    src = repo / "src" / "repro"
+    findings: List[Finding] = []
+    if src.is_dir():
+        findings.extend(missing_docstrings(src, repo))
+    findings.extend(broken_links(repo))
+    return findings
+
+
+def main(repo: Path | None = None) -> int:
+    """Stand-alone runner used by ``tools/check_docs.py``."""
+    repo = repo if repo is not None else default_repo_root()
+    findings = check_docs(repo)
+    for finding in sorted(findings, key=Finding.sort_key):
+        print(finding.format())
+    if findings:
+        print(f"\n{len(findings)} documentation problem(s)")
+        return 1
+    n_modules = len(
+        [
+            p
+            for p in (repo / "src" / "repro").rglob("*.py")
+            if "__pycache__" not in p.parts
+        ]
+    )
+    print(
+        f"docs check OK: {n_modules} modules documented, "
+        f"{len(doc_files(repo))} markdown files with resolving links"
+    )
+    return 0

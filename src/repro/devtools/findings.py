@@ -1,0 +1,111 @@
+"""Structured lint findings and their text/JSON renderings.
+
+A :class:`Finding` is one rule violation pinned to a file and line;
+the reporters keep a stable, machine-consumable shape so CI can diff
+reports across runs and upload them as artifacts.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List
+
+
+class Severity(enum.Enum):
+    """How bad a finding is; orders error > warning > info."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str  #: stable rule id, e.g. ``SL101``
+    severity: Severity
+    path: str  #: path relative to the lint root
+    line: int  #: 1-based line of the offending node
+    message: str  #: what is wrong, in one sentence
+    hint: str = ""  #: how to fix it (or how to suppress, with a reason)
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.rule)
+
+    def to_dict(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+        if self.hint:
+            record["hint"] = self.hint
+        if self.data:
+            record["data"] = self.data
+        return record
+
+    def format(self) -> str:
+        text = (
+            f"{self.path}:{self.line}: {self.rule} "
+            f"[{self.severity.value}] {self.message}"
+        )
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+
+def render_text(findings: Iterable[Finding]) -> str:
+    """Human-readable report, one block per finding, sorted by location."""
+    ordered = sorted(findings, key=Finding.sort_key)
+    if not ordered:
+        return "simlint: clean"
+    lines = [finding.format() for finding in ordered]
+    by_rule: Dict[str, int] = {}
+    for finding in ordered:
+        by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+    tally = ", ".join(f"{rule} x{n}" for rule, n in sorted(by_rule.items()))
+    lines.append(f"\nsimlint: {len(ordered)} finding(s) ({tally})")
+    return "\n".join(lines)
+
+
+def render_json(
+    findings: Iterable[Finding], root: str = "", extra: Dict[str, Any] | None = None
+) -> str:
+    """Machine-readable report (the CI artifact format)."""
+    ordered = sorted(findings, key=Finding.sort_key)
+    by_rule: Dict[str, int] = {}
+    for finding in ordered:
+        by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+    document: Dict[str, Any] = {
+        "tool": "simlint",
+        "version": 1,
+        "root": root,
+        "findings": [finding.to_dict() for finding in ordered],
+        "summary": {"total": len(ordered), "by_rule": by_rule},
+    }
+    if extra:
+        document.update(extra)
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def worst_severity(findings: Iterable[Finding]) -> Severity | None:
+    """The most severe level present, or None for an empty report."""
+    worst: Severity | None = None
+    for finding in findings:
+        if worst is None or finding.severity.rank < worst.rank:
+            worst = finding.severity
+    return worst
+
+
+#: Type alias for the list the linter accumulates into.
+FindingList = List[Finding]

@@ -1,0 +1,195 @@
+"""The simlint driver: collect files, run rules, apply suppressions.
+
+:func:`lint_paths` is the programmatic entry point; the CLI in
+:mod:`repro.devtools.cli` is a thin argument parser around it.  The
+driver parses each module once, hands the tree to every selected rule,
+filters the findings through the file's suppression directives, and
+reports stale directives so suppressions cannot outlive the code they
+excused.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Set
+
+from repro.devtools.findings import Finding, Severity
+from repro.devtools.model import RepoModel, build_model
+from repro.devtools.rules import RULE_REGISTRY, ModuleContext, register_rule
+from repro.devtools.suppress import SuppressionIndex
+
+# Importing a rule module registers its rules; this list is the
+# extension point for new families (see docs/STATIC_ANALYSIS.md).
+from repro.devtools import (  # noqa: F401  (imported for registration)
+    rules_costmodel,
+    rules_determinism,
+    rules_hooks,
+    rules_simtime,
+    rules_taxonomy,
+)
+
+
+@register_rule(
+    "SL000",
+    "SL0 meta",
+    "file does not parse",
+    hint="simlint needs a syntactically valid module",
+)
+def _parse_error_placeholder(ctx: ModuleContext) -> None:
+    """Registered for id/severity only; the driver reports SL000 itself."""
+
+
+@register_rule(
+    "SL001",
+    "SL0 meta",
+    "suppression directive that never fires",
+    severity=Severity.WARNING,
+    hint="delete the stale '# simlint: disable' comment",
+)
+def _unused_suppression_placeholder(ctx: ModuleContext) -> None:
+    """Registered for id/severity only; the driver reports SL001 itself."""
+
+
+_META_RULES = {"SL000", "SL001"}
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    root: str
+    findings: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    suppressions_used: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def exit_code(self) -> int:
+        return 0 if self.clean else 1
+
+
+def _collect_files(paths: Sequence[Path]) -> List[Path]:
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(
+                p
+                for p in sorted(path.rglob("*.py"))
+                if "__pycache__" not in p.parts
+                and not any(part.endswith(".egg-info") for part in p.parts)
+            )
+        elif path.suffix == ".py":
+            files.append(path)
+    return files
+
+
+def _relative_to_root(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def _selected_rules(rule_filter: Optional[Iterable[str]]) -> Set[str]:
+    if not rule_filter:
+        return set(RULE_REGISTRY)
+    selected: Set[str] = set()
+    for token in rule_filter:
+        token = token.strip().upper()
+        if not token:
+            continue
+        for rule_id in RULE_REGISTRY:
+            if rule_id == token or (
+                rule_id.startswith(token) and len(token) < len(rule_id)
+            ):
+                selected.add(rule_id)
+    return selected | _META_RULES
+
+
+def lint_file(
+    path: Path,
+    root: Path,
+    model: RepoModel,
+    selected: Optional[Set[str]] = None,
+) -> List[Finding]:
+    """Lint one module; returns post-suppression findings."""
+    if selected is None:
+        selected = set(RULE_REGISTRY)
+    relative = _relative_to_root(path, root)
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule="SL000",
+                severity=Severity.ERROR,
+                path=relative,
+                line=exc.lineno or 1,
+                message=f"syntax error: {exc.msg}",
+                hint=RULE_REGISTRY["SL000"].hint,
+            )
+        ]
+
+    context = ModuleContext(
+        path=relative, tree=tree, source=source, model=model
+    )
+    for rule_id, rule in RULE_REGISTRY.items():
+        if rule_id in _META_RULES or rule_id not in selected:
+            continue
+        rule.check(context)
+
+    index = SuppressionIndex(source)
+    kept = [
+        finding
+        for finding in context.findings
+        if not index.is_suppressed(finding.rule, finding.line)
+    ]
+    if "SL001" in selected:
+        for suppression in index.unused():
+            kept.append(
+                Finding(
+                    rule="SL001",
+                    severity=Severity.WARNING,
+                    path=relative,
+                    line=suppression.line,
+                    message=(
+                        "suppression for "
+                        f"{', '.join(sorted(suppression.rules))} never fired"
+                    ),
+                    hint=RULE_REGISTRY["SL001"].hint,
+                )
+            )
+    return kept
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    root: Optional[str | Path] = None,
+    rules: Optional[Iterable[str]] = None,
+) -> LintResult:
+    """Lint every ``.py`` file under *paths*.
+
+    *root* anchors relative paths in findings and path-scoped rules;
+    it defaults to the first directory argument (or the first file's
+    parent), which is the right thing both for ``src/repro`` and for
+    the fixture corpus.
+    """
+    resolved = [Path(p) for p in paths]
+    if root is None:
+        first = resolved[0]
+        root_path = first if first.is_dir() else first.parent
+    else:
+        root_path = Path(root)
+    model = build_model(root_path)
+    selected = _selected_rules(rules)
+    result = LintResult(root=str(root_path))
+    for path in _collect_files(resolved):
+        result.files_scanned += 1
+        result.findings.extend(lint_file(path, root_path, model, selected))
+    result.findings.sort(key=Finding.sort_key)
+    return result

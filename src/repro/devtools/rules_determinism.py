@@ -1,0 +1,176 @@
+"""SL1 -- determinism: all randomness flows through RandomStreams.
+
+The evaluation compares configurations under common random numbers
+(:mod:`repro.sim.random`): every logical noise source draws from its
+own named, seed-derived stream, so adding a consumer never perturbs
+the draws of existing ones.  Any direct use of the :mod:`random`
+module -- or of wall-clock entropy -- outside ``sim/random.py`` breaks
+that discipline, and iterating a bare ``set`` in scheduling code makes
+event order depend on hash seeds rather than simulated time.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.devtools.rules import ModuleContext, register_rule
+
+#: The one module allowed to touch :mod:`random` directly.
+SANCTIONED = "sim/random.py"
+
+#: Module-level draw functions of :mod:`random` (the shared global RNG).
+_RANDOM_DRAWS = {
+    "random",
+    "randint",
+    "randrange",
+    "uniform",
+    "choice",
+    "choices",
+    "shuffle",
+    "sample",
+    "expovariate",
+    "gauss",
+    "normalvariate",
+    "lognormvariate",
+    "betavariate",
+    "gammavariate",
+    "paretovariate",
+    "vonmisesvariate",
+    "weibullvariate",
+    "triangular",
+    "getrandbits",
+    "randbytes",
+    "seed",
+}
+
+#: Wall-clock / OS entropy calls that have no place in simulated time.
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "os.urandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+}
+_WALL_CLOCK_SUFFIXES = ("datetime.now", "datetime.utcnow", "date.today")
+
+#: Tree prefixes whose event ordering must be hash-independent.
+SCHEDULING_PATHS = ("sim/", "nic/", "atm/", "host/", "aal/")
+
+
+def _sanctioned(ctx: ModuleContext) -> bool:
+    return ctx.path.endswith(SANCTIONED)
+
+
+@register_rule(
+    "SL101",
+    "SL1 determinism",
+    "direct random.Random construction outside sim/random.py",
+    hint=(
+        "draw from a named stream: RandomStreams(seed).stream('component')"
+        " keeps the common-random-numbers discipline"
+    ),
+)
+def check_random_construction(ctx: ModuleContext) -> None:
+    if _sanctioned(ctx):
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        resolved = ctx.resolve_call(node.func)
+        if resolved in ("random.Random", "random.SystemRandom"):
+            ctx.report(
+                "SL101",
+                node,
+                f"{resolved}() constructed outside {SANCTIONED}",
+            )
+
+
+@register_rule(
+    "SL102",
+    "SL1 determinism",
+    "module-level random.* draw (the shared global RNG)",
+    hint=(
+        "the global RNG couples every consumer's draws; use a "
+        "RandomStreams stream instead"
+    ),
+)
+def check_global_random_draw(ctx: ModuleContext) -> None:
+    if _sanctioned(ctx):
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        resolved = ctx.resolve_call(node.func)
+        if not resolved.startswith("random."):
+            continue
+        if resolved.split(".", 1)[1] in _RANDOM_DRAWS:
+            ctx.report(
+                "SL102",
+                node,
+                f"{resolved}() draws from the process-global RNG",
+            )
+
+
+@register_rule(
+    "SL103",
+    "SL1 determinism",
+    "wall-clock or OS entropy in simulation code",
+    hint=(
+        "simulated time is sim.now; wall-clock reads make runs "
+        "unreproducible (CLI progress timing may use time.perf_counter)"
+    ),
+)
+def check_wall_clock_entropy(ctx: ModuleContext) -> None:
+    if _sanctioned(ctx):
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        resolved = ctx.resolve_call(node.func)
+        if not resolved:
+            continue
+        if resolved in _WALL_CLOCK or resolved.endswith(_WALL_CLOCK_SUFFIXES):
+            ctx.report(
+                "SL103",
+                node,
+                f"{resolved}() reads wall-clock/OS entropy",
+            )
+
+
+def _is_set_expression(expr: ast.expr) -> bool:
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Name)
+        and expr.func.id in ("set", "frozenset")
+    )
+
+
+@register_rule(
+    "SL104",
+    "SL1 determinism",
+    "iteration over an unordered set in event-scheduling code",
+    hint=(
+        "set order follows the hash seed, not simulated time; iterate "
+        "sorted(...) or keep an ordered container"
+    ),
+)
+def check_set_iteration(ctx: ModuleContext) -> None:
+    if not ctx.in_paths(*SCHEDULING_PATHS):
+        return
+    for node in ast.walk(ctx.tree):
+        iters = []
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iters.append(node.iter)
+        elif isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+        ):
+            iters.extend(gen.iter for gen in node.generators)
+        for candidate in iters:
+            if _is_set_expression(candidate):
+                ctx.report(
+                    "SL104",
+                    candidate,
+                    "iterating a set yields hash-seed-dependent order",
+                )

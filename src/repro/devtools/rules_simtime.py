@@ -1,0 +1,86 @@
+"""SL4 -- sim-time hygiene: no float equality, no wall-clock waits.
+
+Simulation timestamps are floats produced by accumulating event
+durations; two logically simultaneous events can differ by an ULP, so
+``==``/``!=`` on timestamps encodes a latent heisenbug -- compare with
+an ordering (``<=``) or an explicit tolerance.  And nothing inside the
+simulated machine may block the real clock: a ``time.sleep`` in
+``sim/``/``nic/``/``atm/`` freezes the process, not the model.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.devtools.rules import ModuleContext, register_rule
+
+#: Attribute / variable names that denote a simulation timestamp.
+_TIMESTAMP_ATTRS = {"now", "ts", "sim_time"}
+_TIMESTAMP_NAMES = {"now", "ts", "sim_time", "timestamp"}
+
+#: Tree prefixes where a wall-clock sleep is always a modelling bug.
+MODEL_PATHS = ("sim/", "nic/", "atm/", "host/", "aal/")
+
+
+def _is_timestamp(expr: ast.expr) -> bool:
+    if isinstance(expr, ast.Attribute):
+        return expr.attr in _TIMESTAMP_ATTRS
+    if isinstance(expr, ast.Name):
+        return expr.id in _TIMESTAMP_NAMES
+    return False
+
+
+@register_rule(
+    "SL401",
+    "SL4 sim-time",
+    "float equality on simulation timestamps",
+    hint=(
+        "timestamps accumulate float durations; use an ordering test or "
+        "an explicit tolerance (abs(a - b) < eps)"
+    ),
+)
+def check_timestamp_equality(ctx: ModuleContext) -> None:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        operands = [node.left] + list(node.comparators)
+        for operator, left, right in zip(
+            node.ops, operands[:-1], operands[1:]
+        ):
+            if not isinstance(operator, (ast.Eq, ast.NotEq)):
+                continue
+            # `x == None`-style comparisons are not timestamp math.
+            if any(
+                isinstance(side, ast.Constant) and side.value is None
+                for side in (left, right)
+            ):
+                continue
+            if _is_timestamp(left) or _is_timestamp(right):
+                ctx.report(
+                    "SL401",
+                    node,
+                    "equality comparison on a simulation timestamp",
+                )
+                break
+
+
+@register_rule(
+    "SL402",
+    "SL4 sim-time",
+    "wall-clock sleep inside the simulated machine",
+    hint=(
+        "block on simulated time instead: yield sim.timeout(duration)"
+    ),
+)
+def check_wall_clock_sleep(ctx: ModuleContext) -> None:
+    if not ctx.in_paths(*MODEL_PATHS):
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if ctx.resolve_call(node.func) == "time.sleep":
+            ctx.report(
+                "SL402",
+                node,
+                "time.sleep() blocks the real clock, not the model",
+            )

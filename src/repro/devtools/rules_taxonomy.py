@@ -1,0 +1,148 @@
+"""SL3 -- trace-taxonomy conformance: every event and drop has a name.
+
+The observability layer's contract is that every lifecycle event a
+component can emit is declared in
+:data:`repro.obs.trace.EVENT_TAXONOMY` and every cell/PDU death
+carries a ``reason`` from :data:`repro.obs.trace.DROP_REASONS` -- and,
+further, that every drop reason lands in a named bucket of the
+cell-conservation ledger (:mod:`repro.faults.audit`) or the
+reassembly-failure taxonomy, so "offered == delivered + accounted
+drops" stays itemisable.  The recorder enforces the first half at run
+time, but only on paths a test happens to execute; these rules enforce
+all of it at lint time, on every emission site.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.devtools.rules import (
+    ModuleContext,
+    register_rule,
+    string_arg,
+    terminal_attribute,
+)
+
+#: Receiver names that carry a TraceRecorder at emission sites.
+TRACE_RECEIVERS = {"trace", "recorder"}
+
+DROP_EVENTS = {"cell.drop", "pdu.drop"}
+
+
+def _emit_call(node: ast.AST) -> Optional[ast.Call]:
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "emit"
+        and terminal_attribute(node.func.value) in TRACE_RECEIVERS
+    ):
+        return node
+    return None
+
+
+def _reason_keyword(call: ast.Call) -> Optional[ast.keyword]:
+    for keyword in call.keywords:
+        if keyword.arg == "reason":
+            return keyword
+    return None
+
+
+@register_rule(
+    "SL301",
+    "SL3 trace-taxonomy",
+    "trace event name missing from EVENT_TAXONOMY",
+    hint=(
+        "declare the event (and its meaning) in "
+        "repro.obs.trace.EVENT_TAXONOMY and docs/OBSERVABILITY.md first"
+    ),
+)
+def check_event_names(ctx: ModuleContext) -> None:
+    taxonomy = ctx.model.event_names
+    if not taxonomy:
+        return
+    for node in ast.walk(ctx.tree):
+        call = _emit_call(node)
+        if call is None:
+            continue
+        name = string_arg(call, 0, "name")
+        if name is not None and name not in taxonomy:
+            ctx.report(
+                "SL301",
+                call,
+                f"event {name!r} is not in EVENT_TAXONOMY",
+            )
+
+
+@register_rule(
+    "SL302",
+    "SL3 trace-taxonomy",
+    "drop event with a missing or undeclared reason",
+    hint=(
+        "every cell/PDU death needs reason=<key of DROP_REASONS>; "
+        "declare new causes there first"
+    ),
+)
+def check_drop_reasons(ctx: ModuleContext) -> None:
+    reasons = ctx.model.drop_reasons
+    for node in ast.walk(ctx.tree):
+        call = _emit_call(node)
+        if call is None:
+            continue
+        name = string_arg(call, 0, "name")
+        if name not in DROP_EVENTS:
+            continue
+        keyword = _reason_keyword(call)
+        if keyword is None:
+            ctx.report(
+                "SL302",
+                call,
+                f"{name} emitted without a reason= argument",
+            )
+            continue
+        if (
+            reasons
+            and isinstance(keyword.value, ast.Constant)
+            and isinstance(keyword.value.value, str)
+            and keyword.value.value not in reasons
+        ):
+            ctx.report(
+                "SL302",
+                call,
+                f"drop reason {keyword.value.value!r} is not in DROP_REASONS",
+            )
+
+
+@register_rule(
+    "SL303",
+    "SL3 trace-taxonomy",
+    "drop reason with no conservation-ledger bucket",
+    hint=(
+        "pair the drop with an auditor bucket: add a ConservationLedger "
+        "field (faults/audit.py) or use a reassembly-failure verdict, so "
+        "offered == delivered + accounted drops stays itemisable"
+    ),
+)
+def check_reason_has_bucket(ctx: ModuleContext) -> None:
+    if not ctx.model.ledger_buckets:
+        return
+    for node in ast.walk(ctx.tree):
+        call = _emit_call(node)
+        if call is None:
+            continue
+        name = string_arg(call, 0, "name")
+        if name not in DROP_EVENTS:
+            continue
+        keyword = _reason_keyword(call)
+        if keyword is None or not isinstance(keyword.value, ast.Constant):
+            continue
+        reason = keyword.value.value
+        if not isinstance(reason, str):
+            continue
+        if not ctx.model.reason_has_ledger_bucket(reason):
+            ctx.report(
+                "SL303",
+                call,
+                f"drop reason {reason!r} has no cell-conservation ledger "
+                "bucket",
+            )

@@ -7,10 +7,11 @@ runs to the configured horizon plus a quiet *drain* long enough for
 the reassembly timer wheel to reclaim stranded contexts, and closes
 the books with the :class:`~repro.faults.audit.CellConservationAuditor`.
 
-Determinism: each plan's randomness comes from
-``random.Random(f"{seed}:{index}:{label}")``, so the same campaign
+Determinism: each plan's randomness is a named
+:class:`~repro.sim.random.RandomStreams` stream derived from the
+campaign seed, the plan's index, and its label, so the same campaign
 object replays the identical fault schedule -- the property the
-regression tests pin.
+regression tests pin -- and no plan's draws perturb another's.
 """
 
 from __future__ import annotations
@@ -25,6 +26,7 @@ from repro.faults.plan import FaultPlan
 from repro.nic.config import NicConfig
 from repro.nic.nic import NicStats
 from repro.sim.core import Simulator
+from repro.sim.random import RandomStreams
 from repro.workloads.generators import GreedySource
 from repro.workloads.scenarios import PointToPoint, build_point_to_point
 
@@ -132,7 +134,7 @@ class FaultCampaign:
 
     def rng_for(self, index: int, plan: FaultPlan) -> random.Random:
         """The plan's private, replayable randomness stream."""
-        return random.Random(f"{self.seed}:{index}:{plan.label}")
+        return RandomStreams(self.seed).stream(f"plan.{index}.{plan.label}")
 
     @property
     def drain_time(self) -> float:

@@ -257,7 +257,7 @@ class RxCostModel:
             for i in range(n_cells)
         )
 
-    def breakdown(self) -> Dict[str, int]:
+    def breakdown(self) -> Dict[str, float]:
         """Per-operation budget for the T2 table."""
         return {
             "fifo_pop": self.fifo_pop,

@@ -161,7 +161,6 @@ def _build_r1(
     seed: int = 7,
 ) -> float:
     """R1's lossy overload: EPD/PPD on, conservation auditor attached."""
-    import random as _random
     from dataclasses import replace
 
     from repro.atm.addressing import VcAddress
@@ -172,6 +171,7 @@ def _build_r1(
     from repro.nic.nic import HostNetworkInterface
     from repro.nic.rx import FrameDiscardPolicy
     from repro.results.experiments import lab_host
+    from repro.sim.random import RandomStreams
     from repro.workloads.scenarios import InterleavedCellSource
 
     config = replace(
@@ -188,7 +188,9 @@ def _build_r1(
         run.sim,
         config.link,
         sink=nic.rx_input,
-        loss_model=UniformLoss(loss_rate, rng=_random.Random(seed)),
+        loss_model=UniformLoss(
+            loss_rate, rng=RandomStreams(seed).stream("r1.loss")
+        ),
         name="lossy-wire",
     )
     link.trace = run.recorder

@@ -1178,10 +1178,9 @@ def run_r1(
     EPD/PPD converts the same cell budget into whole delivered frames:
     refused frames cost nothing, admitted frames arrive intact.
     """
-    import random as _random
-
     from repro.atm.errors import UniformLoss
     from repro.nic.rx import FrameDiscardPolicy
+    from repro.sim.random import RandomStreams
 
     base = lab_host(config if config is not None else aurora_oc12())
     policies = (
@@ -1205,7 +1204,9 @@ def run_r1(
                 sim,
                 cfg.link,
                 sink=nic.rx_input,
-                loss_model=UniformLoss(p, rng=_random.Random(seed)),
+                loss_model=UniformLoss(
+                    p, rng=RandomStreams(seed).stream("r1.loss")
+                ),
                 name="lossy-wire",
             )
             source = InterleavedCellSource(

@@ -12,7 +12,10 @@ callbacks, so there is no concurrency and no locking anywhere.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Iterable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable, Optional
+
+if TYPE_CHECKING:  # import cycle: process.py imports this module
+    from repro.sim.process import Process
 
 
 class SimulationError(RuntimeError):
@@ -184,7 +187,7 @@ class Simulator:
         """Create an event that fires *delay* seconds from now."""
         return Timeout(self, delay, value)
 
-    def process(self, generator) -> "Process":
+    def process(self, generator: Generator["Event", Any, Any]) -> "Process":
         """Launch *generator* as a cooperative process (see sim.process)."""
         from repro.sim.process import Process
 

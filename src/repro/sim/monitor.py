@@ -97,7 +97,9 @@ class TimeWeightedStat:
 
     __slots__ = ("_last_time", "_last_level", "_area", "_start", "maximum")
 
-    def __init__(self, start_time: float = 0.0, initial_level: float = 0.0):
+    def __init__(
+        self, start_time: float = 0.0, initial_level: float = 0.0
+    ) -> None:
         self._start = start_time
         self._last_time = start_time
         self._last_level = initial_level
@@ -255,7 +257,7 @@ def summarize(samples: Iterable[float]) -> WelfordStat:
 # metric without the registry knowing the concrete type.
 
 
-def stat_summary(stat: WelfordStat) -> dict:
+def stat_summary(stat: WelfordStat) -> dict[str, object]:
     """A :class:`WelfordStat` as a JSON-safe summary dict."""
     return {
         "n": stat.n,
@@ -266,7 +268,7 @@ def stat_summary(stat: WelfordStat) -> dict:
     }
 
 
-def histogram_summary(hist: Histogram) -> dict:
+def histogram_summary(hist: Histogram) -> dict[str, object]:
     """A :class:`Histogram` as a JSON-safe summary dict."""
     return {
         "total": hist.total,

@@ -41,7 +41,9 @@ class Resource:
     that was never issued (or twice) raises :class:`SimulationError`.
     """
 
-    def __init__(self, sim: Simulator, capacity: int = 1, name: str = "resource"):
+    def __init__(
+        self, sim: Simulator, capacity: int = 1, name: str = "resource"
+    ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.sim = sim

@@ -14,6 +14,7 @@ from typing import Optional
 from repro.atm.addressing import VcAddress
 from repro.sim.core import Simulator
 from repro.sim.monitor import Counter
+from repro.sim.random import RandomStreams
 from repro.workloads.pdu_sizes import ConstantSize, SizeDistribution
 
 _PAYLOAD_BLOCK = bytes(range(256)) * 256
@@ -43,7 +44,13 @@ class _SourceBase:
         self.interface = interface
         self.vc = vc
         self.sizes = sizes
-        self.rng = rng if rng is not None else random.Random(0)
+        # The default stream is named after the source so concurrent
+        # sources with distinct names draw independently (CRN discipline).
+        self.rng = (
+            rng
+            if rng is not None
+            else RandomStreams(0).stream(f"workloads.{name}")
+        )
         self.name = name
         self.pdus_offered = Counter(f"{name}.pdus")
         self.bytes_offered = Counter(f"{name}.bytes")

@@ -1,0 +1,9 @@
+"""Corpus-local reassembly-failure taxonomy for the SL303 cross-check."""
+
+import enum
+
+
+class ReassemblyFailure(enum.Enum):
+    """Why a corpus PDU was discarded."""
+
+    BAD_CRC = "bad_crc"

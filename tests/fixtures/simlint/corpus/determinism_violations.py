@@ -1,0 +1,42 @@
+"""SL1 fixtures: unsanctioned entropy, plus sanctioned suppressions."""
+
+import os
+import random
+import time
+from datetime import datetime
+
+
+def fresh_generator():
+    """SL101: a private random.Random outside sim/random.py."""
+    return random.Random(42)
+
+
+def module_level_draw():
+    """SL102: drawing from the shared module-level generator."""
+    return random.random()
+
+
+def wall_clock_stamp():
+    """SL103: wall-clock and entropy reads."""
+    stamp = time.time()
+    noise = os.urandom(4)
+    born = datetime.now()
+    return stamp, noise, born
+
+
+def measured_generator():
+    """A reviewed exception, silenced with a reasoned suppression."""
+    # simlint: disable=SL101 -- fixture demonstrates a reasoned line suppression
+    rng = random.Random(7)
+    return rng.randint(0, 9)
+
+
+def stale_waiver():
+    """SL001: the suppression below matches no finding and is reported."""
+    # simlint: disable=SL103 -- deliberately unused, to exercise SL001
+    return 0
+
+
+def perf_timing():
+    """time.perf_counter is explicitly allowed (it never enters sim state)."""
+    return time.perf_counter()

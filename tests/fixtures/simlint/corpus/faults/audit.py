@@ -1,0 +1,16 @@
+"""Corpus-local conservation ledger: the SL303 cross-check target.
+
+``stray_alpha`` has a field here (so that drop reason is fully
+accounted); ``cosmic_ray`` deliberately has none.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ConservationLedger:
+    """A two-bucket toy ledger."""
+
+    offered: int
+    stray_alpha: int
+    delivered: int

@@ -1,0 +1,17 @@
+"""Corpus-local profiler: the canonical hook shapes for SL5 checks."""
+
+
+class CycleProfiler:
+    """Shape-compatible stand-in for repro.obs.profiler.CycleProfiler."""
+
+    def record_cell(self, engine, position, ops, extra=0.0):
+        """One cell executed."""
+
+    def record_pdu(self, engine, ops):
+        """Once-per-PDU overhead executed."""
+
+    def record_ops(self, engine, ops):
+        """Cycles outside any cell/PDU budget."""
+
+    def record_oam(self, ops):
+        """One management cell handled."""

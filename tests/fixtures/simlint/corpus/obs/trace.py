@@ -1,0 +1,40 @@
+"""Corpus-local taxonomy tables: a deliberately small universe.
+
+The linter extracts its conformance tables from the tree being
+scanned, so this corpus ships its own ``obs/trace.py``.  The tables
+are chosen to exercise every SL3 verdict: ``x.test.event`` exists,
+``cell.drop``/``pdu.drop`` exist, ``stray_alpha`` is a declared drop
+reason *with* a ledger bucket, and ``cosmic_ray`` is a declared drop
+reason *without* one (the SL303 case).
+"""
+
+EVENT_TAXONOMY = {
+    "x.test.event": "an event the corpus pipeline may emit",
+    "cell.drop": "a cell died; 'reason' names the cause",
+    "pdu.drop": "a PDU died; 'reason' names the cause",
+}
+
+DROP_REASONS = {
+    "stray_alpha": "mirrored by the corpus ledger",
+    "cosmic_ray": "declared here but absent from the corpus ledger",
+    "bad_crc": "a reassembly verdict of the corpus taxonomy",
+}
+
+
+class TraceRecorder:
+    """Shape-compatible stand-in for repro.obs.trace.TraceRecorder."""
+
+    def emit(
+        self,
+        name,
+        actor="",
+        cell=None,
+        cell_id=None,
+        pdu_id=None,
+        vc=None,
+        **args,
+    ):
+        """Record one event."""
+
+    def tag_cell(self, cell):
+        """Assign the cell's trace identity."""

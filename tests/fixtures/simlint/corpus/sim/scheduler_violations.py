@@ -1,0 +1,36 @@
+"""SL104/SL4 fixtures: nondeterministic iteration and sim-time hygiene."""
+
+import time
+
+
+def drain(ready):
+    """SL104: iterating a bare set decides event order by hash seed."""
+    out = []
+    for actor in {"tx", "rx", "host"}:
+        out.append(actor)
+    for waiter in ready:  # a list parameter: not flagged
+        out.append(waiter)
+    return out
+
+
+def deadline_hit(event, now):
+    """SL401: exact float equality on simulated timestamps."""
+    return event.ts == now
+
+
+def deadline_hit_tolerant(event, now, eps=1e-9):
+    """The sanctioned comparison: an epsilon window, not equality."""
+    return abs(event.ts - now) <= eps
+
+
+def pace(delay):
+    """SL402: a wall-clock sleep inside the simulated world."""
+    time.sleep(delay)
+
+
+def pinned_order(ready):
+    """Suppressed SL104: a reviewed singleton set."""
+    # simlint: disable=SL104 -- singleton set, order cannot vary
+    for only in {"arbiter"}:
+        return only
+    return None

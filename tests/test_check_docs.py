@@ -1,0 +1,110 @@
+"""Unit tests for the documentation checks behind ``repro lint --docs``.
+
+Covers the DOC101 docstring invariant and the DOC102 broken-link
+detector against synthetic repositories built in ``tmp_path``, plus
+the real-tree guarantees: the shipped repo passes, and both the
+``tools/check_docs.py`` shim and ``python -m repro lint --docs`` stay
+wired to the same implementation.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.devtools.docs import broken_links, check_docs, main, missing_docstrings
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+def make_repo(tmp_path, *, docstring=True, link_target_exists=True):
+    """Build a minimal src-layout repo with one module and one doc."""
+    src = tmp_path / "src" / "repro"
+    src.mkdir(parents=True)
+    body = '"""A documented module."""\n' if docstring else ""
+    (src / "mod.py").write_text(body + "VALUE = 1\n")
+    if link_target_exists:
+        (tmp_path / "TARGET.md").write_text("# Target\n")
+    (tmp_path / "README.md").write_text(
+        "# Test repo\n"
+        "\n"
+        "A [relative link](TARGET.md) and a [web link](https://example.com).\n"
+        "\n"
+        "```text\n"
+        "[links inside fences](NOWHERE.md) are ignored\n"
+        "```\n"
+        "\n"
+        "Same-file [anchor](#test-repo) is fine.\n"
+    )
+    return tmp_path
+
+
+def test_clean_synthetic_repo_passes(tmp_path):
+    repo = make_repo(tmp_path)
+    assert check_docs(repo) == []
+    assert main(repo) == 0
+
+
+def test_missing_docstring_is_doc101(tmp_path):
+    repo = make_repo(tmp_path, docstring=False)
+    findings = missing_docstrings(repo / "src" / "repro", repo)
+    assert [f.rule for f in findings] == ["DOC101"]
+    assert findings[0].path == "src/repro/mod.py"
+    assert main(repo) == 1
+
+
+def test_broken_relative_link_is_doc102(tmp_path):
+    repo = make_repo(tmp_path, link_target_exists=False)
+    findings = broken_links(repo)
+    assert [f.rule for f in findings] == ["DOC102"]
+    assert findings[0].path == "README.md"
+    assert "TARGET.md" in findings[0].message
+    # The fenced NOWHERE.md link and the web/anchor links never count.
+    assert all("NOWHERE" not in f.message for f in findings)
+    assert main(repo) == 1
+
+
+def test_fragment_only_and_external_links_ignored(tmp_path):
+    repo = make_repo(tmp_path)
+    (repo / "docs").mkdir()
+    (repo / "docs" / "EXTRA.md").write_text(
+        "See [the readme](../README.md) and [a site](http://example.org).\n"
+    )
+    assert broken_links(repo) == []
+
+
+def test_line_numbers_survive_fence_stripping(tmp_path):
+    repo = make_repo(tmp_path)
+    (repo / "docs").mkdir()
+    (repo / "docs" / "LINES.md").write_text(
+        "# Lines\n"
+        "\n"
+        "```\n"
+        "fence line\n"
+        "```\n"
+        "\n"
+        "[broken](missing.md)\n"
+    )
+    findings = broken_links(repo)
+    assert [(f.path, f.line) for f in findings] == [("docs/LINES.md", 7)]
+
+
+def test_shipped_repo_docs_are_clean():
+    assert check_docs(REPO) == [], [f.format() for f in check_docs(REPO)]
+
+
+def _run(cmd):
+    return subprocess.run(
+        cmd,
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+    )
+
+
+def test_shim_and_unified_entry_point_agree():
+    shim = _run([sys.executable, "tools/check_docs.py"])
+    unified = _run([sys.executable, "-m", "repro", "lint", "--docs"])
+    assert shim.returncode == 0, shim.stdout + shim.stderr
+    assert unified.returncode == 0, unified.stdout + unified.stderr
+    assert "docs check OK" in shim.stdout

@@ -1,7 +1,5 @@
 """Fault plans, campaigns, and the cell-conservation audit."""
 
-import random
-
 import pytest
 
 from repro.faults import (
@@ -22,6 +20,7 @@ from repro.nic.config import aurora_oc3
 from repro.nic.costs import I960_25MHZ
 from repro.nic.engine import EngineClock
 from repro.nic.rx import FrameDiscardPolicy
+from repro.sim.random import RandomStreams
 from repro.workloads.scenarios import build_point_to_point
 
 FAST_SPEC = CampaignSpec(duration=0.01, n_vcs=2, sdu_size=4096, pdus_per_vc=10)
@@ -238,4 +237,5 @@ class TestCampaignRngIsolation:
         b = campaign.rng_for(1, BurstLossPlan())
         same = campaign.rng_for(0, BurstLossPlan())
         assert a.random() != b.random()
-        assert random.Random(f"5:0:{BurstLossPlan().label}").random() == same.random()
+        expected = RandomStreams(5).stream(f"plan.0.{BurstLossPlan().label}")
+        assert expected.random() == same.random()

@@ -1,0 +1,40 @@
+"""The mypy --strict gate on the deterministic core, run when available.
+
+CI installs mypy and runs the identical command as a dedicated job;
+this test keeps the gate reproducible locally (``pip install mypy``)
+while skipping cleanly in environments without it -- the simulator
+itself must stay dependency-free.
+"""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[1]
+
+STRICT_TARGETS = ["src/repro/sim", "src/repro/nic/costs.py"]
+
+
+@pytest.mark.skipif(
+    importlib.util.find_spec("mypy") is None,
+    reason="mypy not installed; the CI lint job runs this gate",
+)
+def test_deterministic_core_is_strictly_typed():
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "mypy",
+            "--strict",
+            "--follow-imports=silent",
+            *STRICT_TARGETS,
+        ],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+        env={"MYPYPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -1,5 +1,9 @@
 #!/usr/bin/env python3
-"""Documentation hygiene check, run by CI.
+"""Documentation hygiene check, run by CI (shim).
+
+The checks themselves moved into :mod:`repro.devtools.docs` so that
+``python -m repro lint --docs`` is the one lint front door; this shim
+keeps the historical invocation working from a bare checkout.
 
 Two invariants:
 
@@ -18,69 +22,13 @@ Run:  python tools/check_docs.py
 
 from __future__ import annotations
 
-import ast
-import re
 import sys
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
-SRC = REPO / "src" / "repro"
+sys.path.insert(0, str(REPO / "src"))
 
-# [text](target) — capture the target; fenced code is stripped first.
-_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
-_FENCE = re.compile(r"```.*?```", re.DOTALL)
-
-
-def missing_docstrings() -> list[str]:
-    problems = []
-    for path in sorted(SRC.rglob("*.py")):
-        tree = ast.parse(path.read_text(), filename=str(path))
-        if ast.get_docstring(tree) is None:
-            problems.append(
-                f"{path.relative_to(REPO)}: missing module docstring"
-            )
-    return problems
-
-
-def _doc_files() -> list[Path]:
-    files = [p for p in REPO.glob("*.md")]
-    files += sorted((REPO / "docs").glob("*.md"))
-    return files
-
-
-def broken_links() -> list[str]:
-    problems = []
-    for doc in _doc_files():
-        text = _FENCE.sub("", doc.read_text())
-        for match in _LINK.finditer(text):
-            target = match.group(1)
-            if target.startswith(("http://", "https://", "mailto:")):
-                continue
-            # Strip any #fragment; an empty path means same-file anchor.
-            path_part = target.split("#", 1)[0]
-            if not path_part:
-                continue
-            resolved = (doc.parent / path_part).resolve()
-            if not resolved.exists():
-                problems.append(
-                    f"{doc.relative_to(REPO)}: broken link -> {target}"
-                )
-    return problems
-
-
-def main() -> int:
-    problems = missing_docstrings() + broken_links()
-    for line in problems:
-        print(line)
-    if problems:
-        print(f"\n{len(problems)} documentation problem(s)", file=sys.stderr)
-        return 1
-    n_modules = len(list(SRC.rglob("*.py")))
-    n_docs = len(_doc_files())
-    print(f"docs check OK: {n_modules} modules documented, "
-          f"{n_docs} markdown files with resolving links")
-    return 0
-
+from repro.devtools.docs import main  # noqa: E402
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    raise SystemExit(main(REPO))

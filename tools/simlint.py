@@ -1,0 +1,22 @@
+#!/usr/bin/env python3
+"""Stand-alone launcher for simlint (``python -m repro lint``).
+
+Adds ``src/`` to ``sys.path`` so the linter runs from a bare checkout
+without installation.  All behaviour lives in
+:mod:`repro.devtools.cli`; see docs/STATIC_ANALYSIS.md for the rule
+catalogue.
+
+Run:  python tools/simlint.py [PATH ...] [--docs] [--format json]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.devtools.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())
