@@ -5,14 +5,25 @@ Usage::
     python -m repro --list
     python -m repro T1 F2 F3
     python -m repro --all
+    python -m repro F7 --workers 4            # parallel sweep execution
+    python -m repro bench --check             # baseline regression gate
     python -m repro trace f2 --out trace.json
     python -m repro lint --docs
 
-The ``trace`` subcommand re-runs an experiment's scenario fully
-instrumented (see :mod:`repro.obs`) and exports a Perfetto-loadable
-trace plus sampled metrics.  The ``lint`` subcommand runs ``simlint``
-(see :mod:`repro.devtools` and docs/STATIC_ANALYSIS.md), the repo's
-static-analysis pass over the simulator's invariants.
+Sweep-shaped experiments (F6, T5, F7, R1) run through
+:mod:`repro.runner`: ``--workers N`` shards their points over a process
+pool with results byte-identical to a serial run, and the
+content-addressed ``.repro-cache/`` store skips points whose parameters
+and cost models are unchanged (``--no-cache`` bypasses it,
+``--cache-dir`` relocates it, ``--log`` records the JSONL flight
+recorder).  The ``bench`` subcommand runs the reduced benchmark set
+and, with ``--check``, gates it against committed baselines (see
+docs/RUNNER.md).  The ``trace`` subcommand re-runs an experiment's
+scenario fully instrumented (see :mod:`repro.obs`) and exports a
+Perfetto-loadable trace plus sampled metrics.  The ``lint`` subcommand
+runs ``simlint`` (see :mod:`repro.devtools` and
+docs/STATIC_ANALYSIS.md), the repo's static-analysis pass over the
+simulator's invariants.
 """
 
 from __future__ import annotations
@@ -22,16 +33,20 @@ import sys
 import time
 from typing import Optional, Sequence
 
-from repro.results.experiments import EXPERIMENTS, run_experiment
+from repro.results.experiments import EXPERIMENTS
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro.runner import registry
+
     parser = argparse.ArgumentParser(
         prog="repro-atm",
         description=(
             "Reproduction harness for 'A Host-Network Interface "
             "Architecture for ATM' (SIGCOMM '91)"
         ),
+        epilog="experiments:\n" + registry.describe(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument(
         "experiments",
@@ -44,6 +59,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--list", action="store_true", help="list experiment ids and exit"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="process-pool width for sweep-shaped experiments (0 = serial)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the .repro-cache result store",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="result-store location (default: .repro-cache)",
+    )
+    parser.add_argument(
+        "--log",
+        metavar="PATH",
+        default=None,
+        help="write sweep runs' JSONL log here",
     )
     return parser
 
@@ -58,27 +97,40 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.devtools.cli import main as lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "bench":
+        from repro.runner.bench import main as bench_main
+
+        return bench_main(argv[1:])
+
+    from repro.runner import ResultStore, RunLog, registry
+
     args = build_parser().parse_args(argv)
     if args.list:
-        for experiment_id, runner in EXPERIMENTS.items():
-            doc = (runner.__doc__ or "").strip().splitlines()[0]
-            print(f"{experiment_id:4s} {doc}")
+        for entry in registry.entries():
+            print(f"{entry.id:4s} {entry.description}")
         return 0
     ids = list(EXPERIMENTS) if args.all else [e.upper() for e in args.experiments]
     if not ids:
         build_parser().print_help()
         return 2
-    for experiment_id in ids:
-        started = time.perf_counter()
-        try:
-            result = run_experiment(experiment_id)
-        except KeyError as exc:
-            print(exc.args[0], file=sys.stderr)
-            return 2
-        elapsed = time.perf_counter() - started
-        print(result.to_text())
-        print(f"  [{experiment_id} completed in {elapsed:.1f}s]")
-        print()
+    store = None if args.no_cache else ResultStore(root=args.cache_dir)
+    log = RunLog(args.log) if args.log is not None else None
+    try:
+        for experiment_id in ids:
+            started = time.perf_counter()
+            try:
+                entry = registry.get(experiment_id)
+            except KeyError as exc:
+                print(exc.args[0], file=sys.stderr)
+                return 2
+            result = entry(workers=args.workers, store=store, log=log)
+            elapsed = time.perf_counter() - started
+            print(result.to_text())
+            print(f"  [{experiment_id.upper()} completed in {elapsed:.1f}s]")
+            print()
+    finally:
+        if log is not None:
+            log.close()
     return 0
 
 

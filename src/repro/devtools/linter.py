@@ -26,6 +26,7 @@ from repro.devtools import (  # noqa: F401  (imported for registration)
     rules_costmodel,
     rules_determinism,
     rules_hooks,
+    rules_parallel,
     rules_simtime,
     rules_taxonomy,
 )

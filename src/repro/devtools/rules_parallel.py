@@ -1,0 +1,124 @@
+"""SL6 -- parallel determinism: worker identity never seeds anything.
+
+The sweep runner's guarantee (see :mod:`repro.runner.executor`) is
+that ``--workers N`` produces byte-identical results to a serial run.
+That holds only because every point's randomness derives from the
+point's *content hash* -- a pure function of its parameters.  The
+moment a kernel reads ``os.getpid()``, the multiprocessing worker
+name, a thread id, or a pool slot index -- and above all the moment it
+folds any of those into an RNG seed -- its output depends on which
+worker happened to pick the point up, and the guarantee is gone in a
+way no test that only runs serially will ever notice.
+
+SL601 flags the identity reads themselves; SL602 flags the sharper
+failure of seeding a :class:`~repro.sim.random.RandomStreams` or
+``random.Random`` from one (or from a variable that names itself after
+the worker, e.g. ``worker_id`` / ``rank``).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.devtools.rules import ModuleContext, register_rule
+
+#: Calls that answer "which worker am I?" -- scheduling-dependent all.
+_IDENTITY_CALLS = {
+    "os.getpid",
+    "os.getppid",
+    "multiprocessing.current_process",
+    "multiprocessing.parent_process",
+    "threading.get_ident",
+    "threading.get_native_id",
+    "threading.current_thread",
+}
+
+#: Variable names that declare themselves to be worker/pool identity.
+_SUSPECT_NAMES = {
+    "worker_id",
+    "worker_index",
+    "worker_rank",
+    "rank",
+    "pid",
+    "ppid",
+    "tid",
+    "process_index",
+    "slot_index",
+}
+
+
+def _identity_call(ctx: ModuleContext, node: ast.AST) -> str:
+    """The resolved identity call at *node*, or ``""``."""
+    if isinstance(node, ast.Call):
+        resolved = ctx.resolve_call(node.func)
+        if resolved in _IDENTITY_CALLS:
+            return resolved
+    return ""
+
+
+def _is_rng_constructor(resolved: str) -> bool:
+    return (
+        resolved == "RandomStreams"
+        or resolved.endswith(".RandomStreams")
+        or resolved == "random.Random"
+    )
+
+
+@register_rule(
+    "SL601",
+    "SL6 parallel determinism",
+    "worker/process identity read in simulation code",
+    hint=(
+        "derive behaviour from the sweep point's parameters or content "
+        "hash; which worker runs a point varies with scheduling"
+    ),
+)
+def check_identity_reads(ctx: ModuleContext) -> None:
+    for node in ast.walk(ctx.tree):
+        resolved = _identity_call(ctx, node)
+        if resolved:
+            ctx.report(
+                "SL601",
+                node,
+                f"{resolved}() reads worker/process identity",
+            )
+
+
+@register_rule(
+    "SL602",
+    "SL6 parallel determinism",
+    "RNG seeded from worker identity or pool position",
+    hint=(
+        "seed from the point's content hash (Point.seed), never from "
+        "the worker executing it -- otherwise --workers N diverges "
+        "from a serial run"
+    ),
+)
+def check_identity_seeding(ctx: ModuleContext) -> None:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if not _is_rng_constructor(ctx.resolve_call(node.func)):
+            continue
+        arguments = list(node.args) + [kw.value for kw in node.keywords]
+        culprit = ""
+        for argument in arguments:
+            for child in ast.walk(argument):
+                identity = _identity_call(ctx, child)
+                if identity:
+                    culprit = f"{identity}()"
+                elif (
+                    isinstance(child, ast.Name)
+                    and child.id in _SUSPECT_NAMES
+                ):
+                    culprit = child.id
+                if culprit:
+                    break
+            if culprit:
+                break
+        if culprit:
+            ctx.report(
+                "SL602",
+                node,
+                f"RNG seed derived from worker identity ({culprit})",
+            )

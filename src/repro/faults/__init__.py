@@ -15,7 +15,10 @@ the first and the third (the second lives in the NIC's
   auditable end state;
 - :mod:`repro.faults.audit` -- :class:`CellConservationAuditor` checks
   the books: cells offered equals cells delivered plus cells dropped,
-  itemised by cause, at any instant of the run.
+  itemised by cause, at any instant of the run;
+- :mod:`repro.faults.sweep` -- campaign *sweeps*: the same plan preset
+  across an axis of seeds via :mod:`repro.runner`, inheriting its
+  process-pool sharding, result cache, and crash isolation.
 
 Usage -- run a seeded lossy campaign and prove the books balance::
 
@@ -62,6 +65,11 @@ from repro.faults.plan import (
     TailLossPlan,
     UniformLossPlan,
 )
+from repro.faults.sweep import (
+    PLAN_PRESETS,
+    run_campaign_sweep,
+    sweep_summary,
+)
 
 __all__ = [
     "BurstLossPlan",
@@ -76,6 +84,9 @@ __all__ = [
     "FaultCampaign",
     "FaultPlan",
     "InterruptStormPlan",
+    "PLAN_PRESETS",
     "TailLossPlan",
     "UniformLossPlan",
+    "run_campaign_sweep",
+    "sweep_summary",
 ]

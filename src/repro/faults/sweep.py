@@ -1,0 +1,210 @@
+"""Fault campaigns as deterministic seed sweeps over the runner.
+
+A single :class:`~repro.faults.campaign.FaultCampaign` answers "what
+happens under this fault schedule"; a *campaign sweep* answers the
+robustness question that actually matters -- "does the interface
+degrade gracefully across *many* fault schedules" -- by running the
+same plan preset over an axis of campaign seeds through
+:func:`repro.runner.run_sweep`.  Each seed is one sweep point, so the
+sweep inherits everything the runner provides: process-pool sharding,
+per-point crash isolation, the content-addressed result cache, and
+byte-identical serial/parallel results.
+
+Determinism note: the campaign's replay contract is keyed by its *own*
+seed (plans draw from ``RandomStreams(seed)`` streams named by plan
+index and label), so the seed is an explicit sweep axis -- part of the
+point's content hash -- rather than something derived from the hash.
+That keeps seed ``k`` meaning the same fault schedule across presets
+and designs, which is the common-random-numbers pairing the robustness
+comparisons rely on.  The hash-derived ``streams`` argument every
+kernel receives is deliberately unused here.
+
+Plan presets are *named* (and the names are part of the point hash)
+because sweep parameters must be canonical JSON scalars -- a frozen
+dataclass plan would not survive the hash/pickle boundary.
+
+Usage::
+
+    from repro.faults.sweep import run_campaign_sweep, sweep_summary
+
+    run = run_campaign_sweep("burst-loss", seeds=range(8), workers=4)
+    print(sweep_summary(run))           # aggregate goodput + conservation
+    series = run.series(name="burst-loss campaigns")   # x axis: seed
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.faults.campaign import CampaignSpec, FaultCampaign
+from repro.faults.plan import (
+    BurstLossPlan,
+    CamMissPlan,
+    CorruptionPlan,
+    EngineStallPlan,
+    FaultPlan,
+    InterruptStormPlan,
+    TailLossPlan,
+    UniformLossPlan,
+)
+from repro.nic.config import NicConfig, aurora_oc3, aurora_oc12
+from repro.runner import ResultStore, RunLog, SweepRun, SweepSpec, run_sweep
+from repro.sim.random import RandomStreams
+
+#: Design points a campaign sweep can target, by name.
+DESIGNS: Dict[str, Callable[[], NicConfig]] = {
+    "oc3": aurora_oc3,
+    "oc12": aurora_oc12,
+}
+
+
+def _preset_clean() -> Tuple[FaultPlan, ...]:
+    """No faults at all -- the control arm every comparison needs."""
+    return ()
+
+
+def _preset_uniform_loss() -> Tuple[FaultPlan, ...]:
+    """Memoryless 1% cell loss for the whole horizon."""
+    return (UniformLossPlan(p=0.01),)
+
+
+def _preset_burst_loss() -> Tuple[FaultPlan, ...]:
+    """A Gilbert-Elliott burst episode mid-run."""
+    return (BurstLossPlan(start=0.002, stop=0.012),)
+
+
+def _preset_tail_loss() -> Tuple[FaultPlan, ...]:
+    """EOF-cell drops on VC 0 -- the reassembly-timer stress case."""
+    return (TailLossPlan(vc_index=0, pdu_indices=(0, 2, 4)),)
+
+
+def _preset_corruption() -> Tuple[FaultPlan, ...]:
+    """Payload bit flips plus uncorrectable HEC marks on the wire."""
+    return (CorruptionPlan(payload_p=2e-5, hec_p=1e-5),)
+
+
+def _preset_engine_stall() -> Tuple[FaultPlan, ...]:
+    """Periodic receive-engine freezes: scheduled FIFO pressure."""
+    return (EngineStallPlan.periodic(0.002, 0.012, 0.002, 2e-4),)
+
+
+def _preset_cam_miss() -> Tuple[FaultPlan, ...]:
+    """A flaky CAM dropping 2% of lookups for the first 12 ms."""
+    return (CamMissPlan(p=0.02, stop=0.012),)
+
+
+def _preset_interrupt_storm() -> Tuple[FaultPlan, ...]:
+    """Spurious device interrupts starving the OS receive path."""
+    return (InterruptStormPlan(start=0.002, stop=0.012, rate_hz=20e3),)
+
+
+def _preset_degraded_link() -> Tuple[FaultPlan, ...]:
+    """The kitchen sink: bursty loss + corruption + an interrupt storm."""
+    return (
+        BurstLossPlan(start=0.002, stop=0.012),
+        CorruptionPlan(payload_p=1e-5, hec_p=5e-6),
+        InterruptStormPlan(start=0.004, stop=0.010, rate_hz=10e3),
+    )
+
+
+#: Named fault-plan bundles; the name is what enters the point hash.
+PLAN_PRESETS: Dict[str, Callable[[], Tuple[FaultPlan, ...]]] = {
+    "clean": _preset_clean,
+    "uniform-loss": _preset_uniform_loss,
+    "burst-loss": _preset_burst_loss,
+    "tail-loss": _preset_tail_loss,
+    "corruption": _preset_corruption,
+    "engine-stall": _preset_engine_stall,
+    "cam-miss": _preset_cam_miss,
+    "interrupt-storm": _preset_interrupt_storm,
+    "degraded-link": _preset_degraded_link,
+}
+
+
+def _campaign_point(
+    params: Mapping[str, Any], streams: RandomStreams
+) -> Dict[str, Any]:
+    """Sweep kernel: one full fault campaign at one seed.
+
+    All randomness flows from ``params['seed']`` through the campaign's
+    own replay machinery (see the module docstring for why the
+    hash-derived *streams* stays unused).
+    """
+    del streams  # campaign replay is keyed by the explicit seed axis
+    config = DESIGNS[params["design"]]()
+    plans = PLAN_PRESETS[params["preset"]]()
+    spec = CampaignSpec(
+        duration=params["duration"],
+        n_vcs=params["n_vcs"],
+        sdu_size=params["sdu_size"],
+        pdus_per_vc=params["pdus_per_vc"],
+    )
+    result = FaultCampaign(config, plans, spec, seed=params["seed"]).run()
+    return {
+        "goodput_mbps": result.goodput_mbps,
+        "pdus_received": result.pdus_received,
+        "unaccounted_cells": result.ledger.unaccounted,
+        "conserved": int(result.is_conserved),
+    }
+
+
+def run_campaign_sweep(
+    preset: str = "burst-loss",
+    seeds: Iterable[int] = (1, 2, 3, 4),
+    design: str = "oc3",
+    duration: float = 0.02,
+    n_vcs: int = 4,
+    sdu_size: int = 8192,
+    pdus_per_vc: int = 40,
+    workers: int = 0,
+    store: Optional[ResultStore] = None,
+    log: Optional[RunLog] = None,
+) -> SweepRun:
+    """Run *preset* once per seed and return the assembled sweep.
+
+    The returned :class:`~repro.runner.SweepRun` has one point per
+    seed, in the order given; ``run.series(name=...)`` yields the
+    per-seed goodput/conservation curves with ``seed`` on the x axis.
+    """
+    if preset not in PLAN_PRESETS:
+        raise ValueError(
+            f"unknown preset {preset!r}; choose from "
+            + ", ".join(sorted(PLAN_PRESETS))
+        )
+    if design not in DESIGNS:
+        raise ValueError(
+            f"unknown design {design!r}; choose from "
+            + ", ".join(sorted(DESIGNS))
+        )
+    spec = SweepSpec.grid(
+        "FAULTS",
+        axes={"seed": tuple(int(s) for s in seeds)},
+        fixed={
+            "preset": preset,
+            "design": design,
+            "duration": duration,
+            "n_vcs": n_vcs,
+            "sdu_size": sdu_size,
+            "pdus_per_vc": pdus_per_vc,
+        },
+        x_axis="seed",
+    )
+    return run_sweep(spec, _campaign_point, workers=workers, store=store, log=log)
+
+
+def sweep_summary(run: SweepRun) -> Dict[str, float]:
+    """Aggregate verdict over a campaign sweep's seeds.
+
+    ``all_conserved`` is the robustness headline: 1.0 iff every seed's
+    conservation ledger balanced.
+    """
+    values = [v for v in run.values if v is not None]
+    if not values:
+        raise ValueError("campaign sweep produced no values")
+    return {
+        "mean_goodput_mbps": sum(v["goodput_mbps"] for v in values) / len(values),
+        "min_goodput_mbps": min(v["goodput_mbps"] for v in values),
+        "total_pdus_received": float(sum(v["pdus_received"] for v in values)),
+        "all_conserved": float(all(v["conserved"] for v in values)),
+        "seeds": float(len(values)),
+    }

@@ -54,6 +54,7 @@ from repro.obs.metrics import (
     Metric,
     MetricsRegistry,
     instrument_auditor,
+    instrument_executor,
     instrument_interface,
     instrument_link,
 )
@@ -85,6 +86,7 @@ __all__ = [
     "TraceEvent",
     "TraceRecorder",
     "instrument_auditor",
+    "instrument_executor",
     "instrument_interface",
     "instrument_link",
     "profile_interface",

@@ -386,6 +386,32 @@ def instrument_link(
     )
 
 
+def instrument_executor(
+    registry: MetricsRegistry, executor, prefix: str = "runner."
+) -> None:
+    """Expose a sweep :class:`~repro.runner.Executor`'s counters.
+
+    The executor refreshes its ``stats`` dict on every run, so the
+    readers close over the executor (not one run's dict) and always
+    report the most recent sweep: points seen, points executed fresh,
+    cache hits, retries, and failures.
+    """
+
+    def read(name: str):
+        return lambda: executor.stats.get(name, 0)
+
+    for name, description in (
+        ("points", "points in the most recent sweep"),
+        ("executed", "points executed fresh (cache misses)"),
+        ("cached", "points served from the result store"),
+        ("retried", "point attempts that were retried"),
+        ("failed", "points that exhausted their retries"),
+    ):
+        registry.counter(
+            prefix + name, read(name), unit="points", description=description
+        )
+
+
 def instrument_auditor(
     registry: MetricsRegistry, auditor, prefix: str = "audit."
 ) -> None:

@@ -5,13 +5,22 @@ tables/series plus provenance notes.  Parameters default to the full
 paper-scale configuration; the benchmark suite passes smaller windows so
 the whole matrix stays fast under pytest-benchmark.
 
+The sweep-shaped experiments (F6, F7, T5, R1) are expressed as
+:class:`~repro.runner.SweepSpec` grids over module-level *kernels*
+(``_f7_point`` and friends) executed by :func:`repro.runner.run_sweep`:
+``workers=N`` shards the points over a process pool with results
+bit-identical to a serial run, and passing a
+:class:`~repro.runner.ResultStore` lets warm re-runs skip unchanged
+points entirely.  Kernels must stay module-level (picklable) and pure
+in their ``(params, streams)`` arguments -- see docs/RUNNER.md.
+
 Experiment ids follow DESIGN.md §3 (T = table, F = figure).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.aal.aal5 import Aal5Segmenter, cells_for_sdu
 from repro.atm.addressing import VcAddress
@@ -40,7 +49,9 @@ from repro.nic.config import NicConfig, aurora_oc3, aurora_oc12
 from repro.nic.costs import CellPosition
 from repro.nic.nic import HostNetworkInterface, connect
 from repro.results.tables import format_series, format_table
+from repro.runner import ResultStore, RunLog, SweepSpec, run_sweep
 from repro.sim.core import Simulator
+from repro.sim.random import RandomStreams
 from repro.workloads.generators import (
     GreedySource,
     OnOffSource,
@@ -562,10 +573,50 @@ def run_t4(
 # F6: multi-VC interleaving on receive
 # ---------------------------------------------------------------------------
 
+def _f6_point(params: Dict[str, Any], streams: RandomStreams) -> Dict[str, float]:
+    """F6 kernel: sustainable RX goodput at one VC count, CAM vs software."""
+    n_vcs, sdu_size, window = params["n_vcs"], params["sdu_size"], params["window"]
+    row = {}
+    for cam, label in ((True, "cam_mbps"), (False, "software_mbps")):
+        base = aurora_oc3() if cam else aurora_oc3().without_cam()
+        # With N VCs completing within one generation, N host buffers
+        # are simultaneously in flight through the completion DMA;
+        # size the pool to the VC count so buffer starvation does not
+        # masquerade as lookup cost.
+        base = replace(base, rx_buffer_slots=max(64, 4 * n_vcs))
+        config = lab_host(base)
+        # One "generation" interleaves one PDU from every VC; the
+        # window must span several so bursty completions average out.
+        generation = n_vcs * cells_for_sdu(sdu_size) * config.link.cell_time
+        run_window = max(window, 8 * generation)
+        sim = Simulator()
+        nic = HostNetworkInterface(sim, config, name="rxhost")
+        received: List = []
+        nic.on_pdu = received.append
+        source = InterleavedCellSource(
+            sim,
+            nic.rx_engine,
+            config.link,
+            n_vcs,
+            sdu_size,
+            blocking_fifo=nic.rx_fifo,
+        )
+        for address in source.vcs:
+            nic.open_vc(address=address)
+        nic.start()
+        source.start()
+        sim.run(until=run_window)
+        row[label] = windowed_goodput_mbps(received, run_window / 4, run_window)
+    return row
+
+
 def run_f6(
     vc_counts: Sequence[int] = (1, 2, 4, 8, 16, 32, 64, 128),
     sdu_size: int = 1500,
     window: float = 0.03,
+    workers: int = 0,
+    store: Optional[ResultStore] = None,
+    log: Optional[RunLog] = None,
 ) -> ExperimentResult:
     """F6: sustainable receive goodput vs interleaved VCs, CAM vs none.
 
@@ -575,42 +626,13 @@ def run_f6(
     rate rather than overload collapse; the host stages are zeroed so
     the receive engine is the stage under test.
     """
-    series = Series(name="multi-vc rx", x_label="n_vcs")
-    for n_vcs in vc_counts:
-        row = {}
-        for cam, label in ((True, "cam_mbps"), (False, "software_mbps")):
-            base = aurora_oc3() if cam else aurora_oc3().without_cam()
-            # With N VCs completing within one generation, N host buffers
-            # are simultaneously in flight through the completion DMA;
-            # size the pool to the VC count so buffer starvation does not
-            # masquerade as lookup cost.
-            base = replace(base, rx_buffer_slots=max(64, 4 * n_vcs))
-            config = lab_host(base)
-            # One "generation" interleaves one PDU from every VC; the
-            # window must span several so bursty completions average out.
-            generation = n_vcs * cells_for_sdu(sdu_size) * config.link.cell_time
-            run_window = max(window, 8 * generation)
-            sim = Simulator()
-            nic = HostNetworkInterface(sim, config, name="rxhost")
-            received: List = []
-            nic.on_pdu = received.append
-            source = InterleavedCellSource(
-                sim,
-                nic.rx_engine,
-                config.link,
-                n_vcs,
-                sdu_size,
-                blocking_fifo=nic.rx_fifo,
-            )
-            for address in source.vcs:
-                nic.open_vc(address=address)
-            nic.start()
-            source.start()
-            sim.run(until=run_window)
-            row[label] = windowed_goodput_mbps(
-                received, run_window / 4, run_window
-            )
-        series.add_point(n_vcs, **row)
+    spec = SweepSpec.grid(
+        "F6",
+        axes={"n_vcs": vc_counts},
+        fixed={"sdu_size": sdu_size, "window": window},
+    )
+    sweep_run = run_sweep(spec, _f6_point, workers=workers, store=store, log=log)
+    series = sweep_run.series(name="multi-vc rx")
     result = ExperimentResult(
         experiment_id="F6",
         title="Sustainable RX goodput vs interleaved VCs: CAM vs software lookup",
@@ -640,9 +662,79 @@ def run_f6(
 # T5: architecture comparison
 # ---------------------------------------------------------------------------
 
+#: T5's named point list: the four system alternatives, in table order.
+T5_ARCHITECTURES: Sequence[str] = ("dual", "shared", "hardwired", "hostsar")
+
+_T5_LABELS: Dict[str, str] = {
+    "dual": "offloaded dual-engine",
+    "shared": "offloaded shared-engine",
+    "hardwired": "hardwired VLSI",
+    "hostsar": "host-software SAR",
+}
+
+
+def _t5_point(params: Dict[str, Any], streams: RandomStreams) -> Dict[str, Any]:
+    """T5 kernel: one architecture's capacities under the shared workload."""
+    arch, sdu_size, window = params["arch"], params["sdu_size"], params["window"]
+    nic_cfg = aurora_oc12()
+
+    if arch == "hostsar":
+        # Host-based SAR: the host is the engine; measure transmit
+        # capacity directly and receive capacity at a 90%-of-model
+        # paced feed.
+        sar_cfg = HostSarConfig(link=STS12C_622, rx_fifo_cells=4096)
+        sar_model = host_cycles_per_pdu_hostsar(sar_cfg, sdu_size, "rx")
+        sustainable = sar_cfg.host_cpu.clock_hz / sar_model
+        sim = Simulator()
+        tx = HostSarInterface(sim, sar_cfg, name="sar-tx")
+        rx = HostSarInterface(sim, sar_cfg, name="sar-rx")
+        link = PhysicalLink(sim, sar_cfg.link, sink=rx.rx_input)
+        tx.attach_tx_link(link)
+        vc = tx.open_vc()
+        rx.open_vc(address=vc.address)
+        tx.start()
+        received: List = []
+        rx.on_pdu = received.append
+        PoissonSource(
+            sim, tx, vc.address, sdu_size, pdus_per_second=0.9 * sustainable
+        ).start()
+        sar_window = max(window, 40 / sustainable)
+        sim.run(until=sar_window)
+        rx_cap = windowed_goodput_mbps(received, sar_window / 4, sar_window)
+        return {
+            "tx_cap_mbps": tx.tx_throughput.megabits_per_second(),
+            "rx_cap_mbps": rx_cap,
+            "duplex_mbps": rx_cap,
+            "host_cycles_per_pdu": sar_model,
+            "flexible": "yes",
+        }
+
+    shared = arch == "shared"
+    base = (
+        hardwired_config(STS12C_622, base=nic_cfg)
+        if arch == "hardwired"
+        else nic_cfg
+    )
+    cfg = lab_host(base)
+    return {
+        "tx_cap_mbps": _measure_tx_capacity(cfg, sdu_size, window, shared=shared),
+        "rx_cap_mbps": _measure_rx_capacity(cfg, sdu_size, window, shared=shared),
+        "duplex_mbps": _measure_duplex_aggregate(
+            cfg, sdu_size, window, shared=shared
+        ),
+        "host_cycles_per_pdu": host_cycles_per_pdu_offloaded(
+            nic_cfg, sdu_size, "rx"
+        ),
+        "flexible": "no" if arch == "hardwired" else "yes",
+    }
+
+
 def run_t5(
     sdu_size: int = 9180,
     window: float = 0.04,
+    workers: int = 0,
+    store: Optional[ResultStore] = None,
+    log: Optional[RunLog] = None,
 ) -> ExperimentResult:
     """T5: the four system alternatives under an identical workload.
 
@@ -659,52 +751,27 @@ def run_t5(
         "host cycles/PDU (rx)",
         "flexible",
     ]
+    spec = SweepSpec.from_points(
+        "T5",
+        points=[{"arch": arch} for arch in T5_ARCHITECTURES],
+        fixed={"sdu_size": sdu_size, "window": window},
+    )
+    sweep_run = run_sweep(spec, _t5_point, workers=workers, store=store, log=log)
     rows: List[List] = []
     aggregates: Dict[str, float] = {}
-    nic_cfg = aurora_oc12()
-    sar_cfg = HostSarConfig(link=STS12C_622, rx_fifo_cells=4096)
-
-    def add_offloaded(config: NicConfig, label: str, flexible: str, shared: bool):
-        cfg = lab_host(config)
-        tx_cap = _measure_tx_capacity(cfg, sdu_size, window, shared=shared)
-        rx_cap = _measure_rx_capacity(cfg, sdu_size, window, shared=shared)
-        duplex = _measure_duplex_aggregate(cfg, sdu_size, window, shared=shared)
-        host_cycles = host_cycles_per_pdu_offloaded(nic_cfg, sdu_size, "rx")
-        rows.append([label, tx_cap, rx_cap, duplex, host_cycles, flexible])
-        aggregates[label] = duplex
-
-    add_offloaded(nic_cfg, "offloaded dual-engine", "yes", shared=False)
-    add_offloaded(nic_cfg, "offloaded shared-engine", "yes", shared=True)
-    add_offloaded(
-        hardwired_config(STS12C_622, base=nic_cfg), "hardwired VLSI", "no",
-        shared=False,
-    )
-
-    # Host-based SAR: the host is the engine; measure transmit capacity
-    # directly and receive capacity at a 90%-of-model paced feed.
-    sar_model = host_cycles_per_pdu_hostsar(sar_cfg, sdu_size, "rx")
-    sustainable = sar_cfg.host_cpu.clock_hz / sar_model
-    sim = Simulator()
-    tx = HostSarInterface(sim, sar_cfg, name="sar-tx")
-    rx = HostSarInterface(sim, sar_cfg, name="sar-rx")
-    link = PhysicalLink(sim, sar_cfg.link, sink=rx.rx_input)
-    tx.attach_tx_link(link)
-    vc = tx.open_vc()
-    rx.open_vc(address=vc.address)
-    tx.start()
-    received: List = []
-    rx.on_pdu = received.append
-    PoissonSource(
-        sim, tx, vc.address, sdu_size, pdus_per_second=0.9 * sustainable
-    ).start()
-    sar_window = max(window, 40 / sustainable)
-    sim.run(until=sar_window)
-    rx_cap = windowed_goodput_mbps(received, sar_window / 4, sar_window)
-    tx_cap = tx.tx_throughput.megabits_per_second()
-    rows.append(
-        ["host-software SAR", tx_cap, rx_cap, rx_cap, sar_model, "yes"]
-    )
-    aggregates["host-software SAR"] = rx_cap
+    for point, values in zip(sweep_run.points, sweep_run.values):
+        label = _T5_LABELS[point.params["arch"]]
+        rows.append(
+            [
+                label,
+                values["tx_cap_mbps"],
+                values["rx_cap_mbps"],
+                values["duplex_mbps"],
+                values["host_cycles_per_pdu"],
+                values["flexible"],
+            ]
+        )
+        aggregates[label] = values["duplex_mbps"]
 
     result = ExperimentResult(
         experiment_id="T5",
@@ -738,11 +805,33 @@ def run_t5(
 # F7: engine clock sweep (ablation)
 # ---------------------------------------------------------------------------
 
+def _f7_point(params: Dict[str, Any], streams: RandomStreams) -> Dict[str, float]:
+    """F7 kernel: saturation throughput at one engine clock."""
+    mhz, sdu_size = params["engine_mhz"], params["sdu_size"]
+    base = aurora_oc12()
+    config = lab_host(base.with_engines(base.tx_engine.at_clock(mhz * 1e6)))
+    point = {
+        "tx_model_mbps": tx_throughput_model_mbps(config, sdu_size),
+        "rx_model_mbps": rx_throughput_model_mbps(config, sdu_size),
+    }
+    if params["simulate"]:
+        point["tx_sim_mbps"] = _measure_tx_capacity(
+            config, sdu_size, params["window"]
+        )
+        point["rx_sim_mbps"] = _measure_rx_capacity(
+            config, sdu_size, params["window"]
+        )
+    return point
+
+
 def run_f7(
     clocks_mhz: Sequence[float] = (10, 16, 20, 25, 33, 40, 50, 66),
     sdu_size: int = 9180,
     window: float = 0.02,
     simulate: bool = True,
+    workers: int = 0,
+    store: Optional[ResultStore] = None,
+    log: Optional[RunLog] = None,
 ) -> ExperimentResult:
     """F7: how fast must the engines be for each link rate?
 
@@ -752,17 +841,13 @@ def run_f7(
     host software.
     """
     base = aurora_oc12()
-    series = Series(name="clock sweep", x_label="engine_mhz")
-    for mhz in clocks_mhz:
-        config = lab_host(base.with_engines(base.tx_engine.at_clock(mhz * 1e6)))
-        point = {
-            "tx_model_mbps": tx_throughput_model_mbps(config, sdu_size),
-            "rx_model_mbps": rx_throughput_model_mbps(config, sdu_size),
-        }
-        if simulate:
-            point["tx_sim_mbps"] = _measure_tx_capacity(config, sdu_size, window)
-            point["rx_sim_mbps"] = _measure_rx_capacity(config, sdu_size, window)
-        series.add_point(mhz, **point)
+    spec = SweepSpec.grid(
+        "F7",
+        axes={"engine_mhz": clocks_mhz},
+        fixed={"sdu_size": sdu_size, "window": window, "simulate": simulate},
+    )
+    sweep_run = run_sweep(spec, _f7_point, workers=workers, store=store, log=log)
+    series = sweep_run.series(name="clock sweep")
     result = ExperimentResult(
         experiment_id="F7",
         title="Saturation throughput vs engine clock (STS-12c link)",
@@ -1160,6 +1245,74 @@ def run_a4(
 # R1: graceful degradation -- goodput under cell loss, EPD/PPD on vs off
 # ---------------------------------------------------------------------------
 
+def _r1_point(params: Dict[str, Any], streams: RandomStreams) -> Dict[str, float]:
+    """R1 kernel: goodput at one cell-loss rate, EPD/PPD on vs off.
+
+    Both policies share the loss stream (common random numbers: the
+    *same* cells vanish under either policy, so the comparison isolates
+    the policy).  The stream is seeded by the explicit ``seed``
+    parameter -- part of the point's content hash -- so the draw
+    sequence is a function of the point, never of the worker that
+    happens to execute it.
+    """
+    return _r1_measure(
+        lab_host(aurora_oc12()),
+        params["loss_rate"],
+        params["n_vcs"],
+        params["sdu_size"],
+        params["window"],
+        params["seed"],
+    )
+
+
+def _r1_measure(
+    base: NicConfig,
+    p: float,
+    n_vcs: int,
+    sdu_size: int,
+    window: float,
+    seed: int,
+) -> Dict[str, float]:
+    """Measure one R1 loss-rate point on *base* (host costs pre-zeroed)."""
+    from repro.atm.errors import UniformLoss
+    from repro.nic.rx import FrameDiscardPolicy
+
+    policies = (
+        ("discard_off_mbps", None),
+        ("epd_ppd_mbps", FrameDiscardPolicy()),
+    )
+    point = {}
+    for label, policy in policies:
+        cfg = replace(base, frame_discard=policy)
+        sim = Simulator()
+        nic = HostNetworkInterface(sim, cfg, name="rxhost")
+        received: List = []
+        nic.on_pdu = received.append
+        for i in range(n_vcs):
+            nic.open_vc(address=VcAddress(0, 100 + i))
+        nic.start()
+        link = PhysicalLink(
+            sim,
+            cfg.link,
+            sink=nic.rx_input,
+            loss_model=UniformLoss(
+                p, rng=RandomStreams(seed).stream("r1.loss")
+            ),
+            name="lossy-wire",
+        )
+        source = InterleavedCellSource(
+            sim,
+            sink=link.send,
+            link=cfg.link,
+            n_vcs=n_vcs,
+            sdu_size=sdu_size,
+        )
+        source.start()
+        sim.run(until=window)
+        point[label] = windowed_goodput_mbps(received, window / 4, window)
+    return point
+
+
 def run_r1(
     config: Optional[NicConfig] = None,
     loss_rates: Sequence[float] = (0.0, 0.005, 0.01, 0.02, 0.05),
@@ -1167,6 +1320,9 @@ def run_r1(
     sdu_size: int = 8192,
     window: float = 0.01,
     seed: int = 7,
+    workers: int = 0,
+    store: Optional[ResultStore] = None,
+    log: Optional[RunLog] = None,
 ) -> ExperimentResult:
     """R1: goodput vs cell-loss rate with frame discard on vs off.
 
@@ -1178,55 +1334,64 @@ def run_r1(
     EPD/PPD converts the same cell budget into whole delivered frames:
     refused frames cost nothing, admitted frames arrive intact.
     """
-    from repro.atm.errors import UniformLoss
-    from repro.nic.rx import FrameDiscardPolicy
-    from repro.sim.random import RandomStreams
-
-    base = lab_host(config if config is not None else aurora_oc12())
-    policies = (
-        ("discard_off_mbps", None),
-        ("epd_ppd_mbps", FrameDiscardPolicy()),
+    if config is not None:
+        # A custom config is not a sweepable (JSON) parameter; run the
+        # kernel-equivalent loop inline for that research use.
+        return _run_r1_custom(config, loss_rates, n_vcs, sdu_size, window, seed)
+    spec = SweepSpec.grid(
+        "R1",
+        axes={"loss_rate": loss_rates},
+        fixed={
+            "n_vcs": n_vcs,
+            "sdu_size": sdu_size,
+            "window": window,
+            "seed": seed,
+        },
+        x_axis="loss_rate",
     )
-    series = Series(name="goodput under loss", x_label="cell_loss_rate")
-    gains: Dict[float, List[float]] = {}
-    for p in loss_rates:
-        point = {}
-        for label, policy in policies:
-            cfg = replace(base, frame_discard=policy)
-            sim = Simulator()
-            nic = HostNetworkInterface(sim, cfg, name="rxhost")
-            received: List = []
-            nic.on_pdu = received.append
-            for i in range(n_vcs):
-                nic.open_vc(address=VcAddress(0, 100 + i))
-            nic.start()
-            link = PhysicalLink(
-                sim,
-                cfg.link,
-                sink=nic.rx_input,
-                loss_model=UniformLoss(
-                    p, rng=RandomStreams(seed).stream("r1.loss")
-                ),
-                name="lossy-wire",
-            )
-            source = InterleavedCellSource(
-                sim,
-                sink=link.send,
-                link=cfg.link,
-                n_vcs=n_vcs,
-                sdu_size=sdu_size,
-            )
-            source.start()
-            sim.run(until=window)
-            point[label] = windowed_goodput_mbps(received, window / 4, window)
-        series.add_point(p, **point)
-        gains[p] = [point["discard_off_mbps"], point["epd_ppd_mbps"]]
+    sweep_run = run_sweep(spec, _r1_point, workers=workers, store=store, log=log)
+    series = sweep_run.series(name="goodput under loss", x_label="loss_rate")
+    series.x_label = "cell_loss_rate"
+    base = lab_host(aurora_oc12())
     result = ExperimentResult(
         experiment_id="R1",
         title=f"Goodput under cell loss, EPD/PPD vs none ({base.link.name})",
         series=series,
     )
-    for p, (off, on) in gains.items():
+    off_col = series.column("discard_off_mbps")
+    on_col = series.column("epd_ppd_mbps")
+    for p, off, on in zip(series.x, off_col, on_col):
+        result.metrics[f"epd_gain_mbps_at_{p:g}"] = on - off
+    result.notes.append(
+        "frame discard turns random cell holes into whole-frame drops: "
+        "the engine spends its limited cycles only on frames that can "
+        "still be delivered intact"
+    )
+    return result
+
+
+def _run_r1_custom(
+    config: NicConfig,
+    loss_rates: Sequence[float],
+    n_vcs: int,
+    sdu_size: int,
+    window: float,
+    seed: int,
+) -> ExperimentResult:
+    """The non-sweep R1 path for caller-supplied configurations."""
+    base = lab_host(config)
+    series = Series(name="goodput under loss", x_label="cell_loss_rate")
+    for p in loss_rates:
+        point = _r1_measure(base, p, n_vcs, sdu_size, window, seed)
+        series.add_point(p, **point)
+    result = ExperimentResult(
+        experiment_id="R1",
+        title=f"Goodput under cell loss, EPD/PPD vs none ({base.link.name})",
+        series=series,
+    )
+    off_col = series.column("discard_off_mbps")
+    on_col = series.column("epd_ppd_mbps")
+    for p, off, on in zip(series.x, off_col, on_col):
         result.metrics[f"epd_gain_mbps_at_{p:g}"] = on - off
     result.notes.append(
         "frame discard turns random cell holes into whole-frame drops: "

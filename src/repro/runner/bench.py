@@ -1,0 +1,180 @@
+"""``python -m repro bench``: the baseline regression gate's front door.
+
+Three modes over the benched experiment set (see
+:data:`repro.runner.registry.BENCH_KWARGS`):
+
+- ``bench`` -- run the reduced benches and print their metrics;
+- ``bench --check`` -- additionally judge every metric against the
+  committed ``benchmarks/baselines/*.json`` tolerance bands and exit
+  nonzero on any regression (what CI keys on);
+- ``bench --update`` -- regenerate the baseline files from the current
+  tree (review the diff like any other code change).
+
+Sweep-shaped experiments honour ``--workers`` and the result cache;
+``--log`` writes the sweeps' JSONL flight recorder for artifact upload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.runner.gate import Baseline, BaselineGate, GateReport
+from repro.runner.store import ResultStore, RunLog
+
+
+def default_baseline_dir() -> Path:
+    """``benchmarks/baselines/`` at the repo root (resolved from here)."""
+    return Path(__file__).resolve().parents[3] / "benchmarks" / "baselines"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-atm bench",
+        description=(
+            "Run reduced-parameter benchmark experiments and gate them "
+            "against committed baselines"
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="ID",
+        help="experiment ids to bench (default: every benched id)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against committed baselines; exit 1 on regression",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline files from this run",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="process-pool width for sweep-shaped experiments (0 = serial)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the .repro-cache result store",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="result-store location (default: .repro-cache)",
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        metavar="DIR",
+        default=None,
+        help="baseline directory (default: benchmarks/baselines)",
+    )
+    parser.add_argument(
+        "--log",
+        metavar="PATH",
+        default=None,
+        help="write the sweeps' JSONL run log here",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    from repro.runner import registry
+
+    args = build_parser().parse_args(
+        list(sys.argv[1:] if argv is None else argv)
+    )
+    if args.check and args.update:
+        print("--check and --update are mutually exclusive", file=sys.stderr)
+        return 2
+
+    gate = BaselineGate(
+        Path(args.baseline_dir)
+        if args.baseline_dir is not None
+        else default_baseline_dir()
+    )
+    ids = (
+        [e.upper() for e in args.experiments]
+        if args.experiments
+        else list(registry.BENCH_DEFAULT)
+    )
+    if not ids:
+        print("no benched experiments registered", file=sys.stderr)
+        return 2
+
+    store = (
+        None if args.no_cache else ResultStore(root=args.cache_dir)
+    )
+    log = RunLog(args.log) if args.log is not None else None
+    reports: Dict[str, GateReport] = {}
+    failures: List[str] = []
+    try:
+        for experiment_id in ids:
+            try:
+                entry = registry.get(experiment_id)
+            except KeyError as exc:
+                print(exc.args[0], file=sys.stderr)
+                return 2
+            kwargs = dict(entry.bench_kwargs)
+            if args.check:
+                # Re-run with the parameters the baseline was made with,
+                # so the comparison is like for like even if the
+                # registry defaults moved since.
+                try:
+                    kwargs = dict(gate.load(experiment_id).bench_kwargs)
+                except FileNotFoundError:
+                    failures.append(experiment_id)
+                    print(
+                        f"{experiment_id}: no baseline at "
+                        f"{gate.path_for(experiment_id)} "
+                        "(run bench --update and commit it)"
+                    )
+                    continue
+            result = entry(
+                workers=args.workers, store=store, log=log, **kwargs
+            )
+            metrics = {k: float(v) for k, v in result.metrics.items()}
+            if args.check:
+                report = gate.compare(experiment_id, metrics)
+                reports[experiment_id] = report
+                print(f"{experiment_id}:")
+                print(report.format())
+                if not report.ok:
+                    failures.append(experiment_id)
+            elif args.update:
+                path = gate.write(
+                    Baseline(
+                        experiment=experiment_id,
+                        metrics=metrics,
+                        bench_kwargs=kwargs,
+                        note=entry.description,
+                    )
+                )
+                print(f"{experiment_id}: wrote {path}")
+            else:
+                print(f"{experiment_id}:")
+                for name, value in sorted(metrics.items()):
+                    print(f"  {name} = {value:.6g}")
+    finally:
+        if log is not None:
+            log.close()
+
+    if args.check:
+        merged = gate.merge(reports)
+        verdict = merged.format().splitlines()[-1]
+        print(verdict)
+        return 1 if failures else 0
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

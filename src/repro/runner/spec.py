@@ -1,0 +1,183 @@
+"""Declarative parameter sweeps: grids of points with stable hashes.
+
+A :class:`SweepSpec` describes one experiment's parameter space as a
+cartesian grid of named axes (plus fixed parameters), or as an explicit
+list of named points.  Expanding the spec yields :class:`Point` objects
+in a deterministic order -- the order the sweep's output keeps no
+matter how many workers execute it.
+
+Every point carries a *content hash*: the SHA-256 of a canonical JSON
+rendering of ``{experiment, params}``.  The hash is the point's
+identity everywhere downstream:
+
+- the :class:`~repro.runner.store.ResultStore` uses it (together with
+  the kernel name and the cost-model fingerprint) as the cache key;
+- the :class:`~repro.runner.executor.Executor` derives each point's
+  :class:`~repro.sim.random.RandomStreams` root seed from it, so a
+  point draws the same randomness whether it runs first on one worker
+  or last on sixteen -- never from worker identity or pool ordering
+  (simlint rule SL6 enforces the negative).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence
+
+from repro.sim.random import RandomStreams
+
+#: Parameter values must round-trip through JSON unchanged: scalars,
+#: or (nested) lists/tuples of scalars.
+_SCALARS = (int, float, str, bool, type(None))
+
+
+def _canonical(value: Any) -> Any:
+    """*value* reduced to JSON-stable form (tuples become lists)."""
+    if isinstance(value, _SCALARS):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    raise TypeError(
+        f"sweep parameter values must be JSON scalars or lists, "
+        f"not {type(value).__name__}"
+    )
+
+
+def content_hash(experiment: str, params: Mapping[str, Any]) -> str:
+    """The stable SHA-256 identity of one parameter point."""
+    payload = json.dumps(
+        {
+            "experiment": experiment,
+            "params": {k: _canonical(v) for k, v in sorted(params.items())},
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class Point:
+    """One parameter assignment of a sweep, with its stable identity."""
+
+    experiment: str
+    index: int  #: position in the spec's expansion order
+    params: Mapping[str, Any]
+    hash: str
+
+    @property
+    def seed(self) -> int:
+        """Root RNG seed derived from the content hash (not the index:
+        inserting a point never perturbs its neighbours' draws)."""
+        return int(self.hash[:16], 16)
+
+    def streams(self) -> RandomStreams:
+        """A fresh named-stream factory keyed by this point's hash."""
+        return RandomStreams(self.seed)
+
+    def label(self) -> str:
+        """Short human-readable form for logs and error messages."""
+        inner = ", ".join(f"{k}={v!r}" for k, v in sorted(self.params.items()))
+        return f"{self.experiment}[{inner}]"
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative parameter space: axes x fixed params, or a list.
+
+    ``axes`` expand cartesian-product style in declaration order (the
+    last axis varies fastest, like nested loops); ``explicit`` bypasses
+    the grid with a hand-written point list (T5's architecture list).
+    ``x_axis`` names the axis that becomes the x column when the sweep
+    is rendered as an :class:`~repro.analysis.sweep.Series`.
+    """
+
+    experiment: str
+    axes: Mapping[str, Sequence[Any]] = field(default_factory=dict)
+    fixed: Mapping[str, Any] = field(default_factory=dict)
+    explicit: Optional[Sequence[Mapping[str, Any]]] = None
+    x_axis: Optional[str] = None
+
+    @classmethod
+    def grid(
+        cls,
+        experiment: str,
+        axes: Mapping[str, Sequence[Any]],
+        fixed: Optional[Mapping[str, Any]] = None,
+        x_axis: Optional[str] = None,
+    ) -> "SweepSpec":
+        """A cartesian sweep; ``x_axis`` defaults to the first axis."""
+        if not axes:
+            raise ValueError("a grid sweep needs at least one axis")
+        for name, values in axes.items():
+            if len(values) == 0:
+                raise ValueError(f"axis {name!r} has no values")
+        return cls(
+            experiment=experiment,
+            axes=dict(axes),
+            fixed=dict(fixed or {}),
+            x_axis=x_axis if x_axis is not None else next(iter(axes)),
+        )
+
+    @classmethod
+    def from_points(
+        cls,
+        experiment: str,
+        points: Sequence[Mapping[str, Any]],
+        fixed: Optional[Mapping[str, Any]] = None,
+        x_axis: Optional[str] = None,
+    ) -> "SweepSpec":
+        """An explicit named point list (non-grid sweeps like T5)."""
+        if not points:
+            raise ValueError("an explicit sweep needs at least one point")
+        return cls(
+            experiment=experiment,
+            fixed=dict(fixed or {}),
+            explicit=[dict(p) for p in points],
+            x_axis=x_axis,
+        )
+
+    def _param_sets(self) -> Iterator[Dict[str, Any]]:
+        if self.explicit is not None:
+            for entry in self.explicit:
+                params = dict(self.fixed)
+                params.update(entry)
+                yield params
+            return
+        names = list(self.axes)
+        for values in itertools.product(*(self.axes[n] for n in names)):
+            params = dict(self.fixed)
+            params.update(zip(names, values))
+            yield params
+
+    def points(self) -> List[Point]:
+        """Expand to points in deterministic spec order."""
+        out = []
+        for index, params in enumerate(self._param_sets()):
+            out.append(
+                Point(
+                    experiment=self.experiment,
+                    index=index,
+                    params=params,
+                    hash=content_hash(self.experiment, params),
+                )
+            )
+        return out
+
+    def __len__(self) -> int:
+        if self.explicit is not None:
+            return len(self.explicit)
+        n = 1
+        for values in self.axes.values():
+            n *= len(values)
+        return n
+
+    def spec_hash(self) -> str:
+        """One hash over the whole expansion (names run logs stably)."""
+        digest = hashlib.sha256()
+        for point in self.points():
+            digest.update(point.hash.encode("ascii"))
+        return digest.hexdigest()

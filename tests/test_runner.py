@@ -1,0 +1,513 @@
+"""repro.runner: specs, the store, the executor, and the bench gate.
+
+The heart of the file is the acceptance property the subsystem was
+built around: a sweep run with ``--workers 4`` and a cache-warm re-run
+are *byte-identical* to a serial run -- same x order, same floats,
+compared via ``float.hex`` so not even one ULP of drift hides.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.faults.sweep import run_campaign_sweep, sweep_summary
+from repro.results.experiments import run_f7
+from repro.runner import (
+    Baseline,
+    BaselineGate,
+    Executor,
+    Point,
+    ResultStore,
+    RunLog,
+    SweepError,
+    SweepSpec,
+    Tolerance,
+    content_hash,
+    cost_model_fingerprint,
+    kernel_name,
+    run_sweep,
+)
+
+# ---------------------------------------------------------------------------
+# module-level kernels (picklable across the process-pool boundary)
+# ---------------------------------------------------------------------------
+
+
+def noisy_kernel(params, streams):
+    """Depends on params and the hash-derived stream only."""
+    rng = streams.stream("noise")
+    return {"y": params["x"] * 10 + rng.random()}
+
+
+def fragile_kernel(params, streams):
+    """Deterministically explodes on one point of the sweep."""
+    if params["x"] == 2:
+        raise ValueError("point 2 always diverges")
+    return {"y": params["x"]}
+
+
+def typed_kernel(params, streams):
+    """Returns the wrong type to exercise the contract check."""
+    return [params["x"]]
+
+
+# ---------------------------------------------------------------------------
+# SweepSpec / Point
+# ---------------------------------------------------------------------------
+
+
+class TestSweepSpec:
+    def test_grid_expands_in_axis_declaration_order(self):
+        spec = SweepSpec.grid(
+            "X", axes={"a": (1, 2), "b": (10, 20)}, fixed={"c": 5}
+        )
+        points = spec.points()
+        assert [p.params for p in points] == [
+            {"c": 5, "a": 1, "b": 10},
+            {"c": 5, "a": 1, "b": 20},
+            {"c": 5, "a": 2, "b": 10},
+            {"c": 5, "a": 2, "b": 20},
+        ]
+        assert [p.index for p in points] == [0, 1, 2, 3]
+        assert len(spec) == 4
+        assert spec.x_axis == "a"
+
+    def test_from_points_preserves_order(self):
+        spec = SweepSpec.from_points(
+            "X", points=[{"arch": "dual"}, {"arch": "shared"}], fixed={"n": 1}
+        )
+        assert [p.params["arch"] for p in spec.points()] == ["dual", "shared"]
+        assert spec.x_axis is None
+
+    def test_hash_is_content_addressed(self):
+        a = content_hash("X", {"p": 1, "q": 2})
+        b = content_hash("X", {"q": 2, "p": 1})
+        assert a == b  # key order is canonicalised away
+        assert content_hash("X", {"p": 1, "q": 3}) != a
+        assert content_hash("Y", {"p": 1, "q": 2}) != a
+
+    def test_tuples_and_lists_hash_identically(self):
+        assert content_hash("X", {"v": (1, 2)}) == content_hash(
+            "X", {"v": [1, 2]}
+        )
+
+    def test_unhashable_param_is_rejected(self):
+        with pytest.raises(TypeError):
+            content_hash("X", {"fn": object()})
+
+    def test_point_seed_derives_from_hash_only(self):
+        p1 = SweepSpec.grid("X", axes={"a": (1,)}).points()[0]
+        p2 = SweepSpec.grid("X", axes={"a": (1,)}).points()[0]
+        assert p1.seed == p2.seed
+        assert p1.streams().stream("s").random() == p2.streams().stream(
+            "s"
+        ).random()
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ValueError):
+            SweepSpec.grid("X", axes={})
+        with pytest.raises(ValueError):
+            SweepSpec.grid("X", axes={"a": ()})
+
+
+# ---------------------------------------------------------------------------
+# ResultStore / RunLog
+# ---------------------------------------------------------------------------
+
+
+class TestResultStore:
+    def point(self):
+        return SweepSpec.grid("X", axes={"a": (1,)}).points()[0]
+
+    def test_round_trip_is_bit_exact(self, tmp_path):
+        store = ResultStore(root=tmp_path, fingerprint="f" * 16)
+        values = {"y": 0.1 + 0.2, "n": 3}
+        store.put(self.point(), "k", values)
+        got = store.get(self.point(), "k")
+        assert got == values
+        assert got["y"].hex() == (0.1 + 0.2).hex()
+
+    def test_miss_returns_none(self, tmp_path):
+        store = ResultStore(root=tmp_path, fingerprint="f" * 16)
+        assert store.get(self.point(), "k") is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        store = ResultStore(root=tmp_path, fingerprint="f" * 16)
+        path = store.put(self.point(), "k", {"y": 1})
+        path.write_text("{ not json", encoding="utf-8")
+        assert store.get(self.point(), "k") is None
+
+    def test_fingerprint_partitions_the_cache(self, tmp_path):
+        old = ResultStore(root=tmp_path, fingerprint="a" * 16)
+        new = ResultStore(root=tmp_path, fingerprint="b" * 16)
+        old.put(self.point(), "k", {"y": 1})
+        assert new.get(self.point(), "k") is None
+        assert (self.point(), "k") in old
+        assert (self.point(), "k") not in new
+
+    def test_kernel_name_partitions_the_cache(self, tmp_path):
+        store = ResultStore(root=tmp_path, fingerprint="f" * 16)
+        store.put(self.point(), "mod:f", {"y": 1})
+        assert store.get(self.point(), "mod:g") is None
+
+    def test_cost_model_fingerprint_is_stable(self):
+        assert cost_model_fingerprint() == cost_model_fingerprint()
+        assert len(cost_model_fingerprint()) == 16
+
+    def test_run_log_records_jsonl(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunLog(path) as log:
+            log.event("sweep_started", points=3)
+            log.event("point_completed", index=0)
+        lines = [
+            json.loads(line)
+            for line in path.read_text().strip().splitlines()
+        ]
+        assert [l["event"] for l in lines] == [
+            "sweep_started",
+            "point_completed",
+        ]
+        assert lines[0]["points"] == 3
+        assert log.events_written == 2
+
+
+# ---------------------------------------------------------------------------
+# Executor
+# ---------------------------------------------------------------------------
+
+
+class TestExecutor:
+    SPEC = SweepSpec.grid("X", axes={"x": (1, 2, 3, 4)})
+
+    def test_serial_and_parallel_values_identical(self):
+        serial = run_sweep(self.SPEC, noisy_kernel, workers=1)
+        parallel = run_sweep(self.SPEC, noisy_kernel, workers=3)
+        assert serial.values == parallel.values
+        assert [v["y"].hex() for v in serial.values] == [
+            v["y"].hex() for v in parallel.values
+        ]
+
+    def test_failure_is_contained_to_its_point(self):
+        run = Executor(workers=0).run(self.SPEC, fragile_kernel)
+        assert not run.ok
+        assert [f.point.params["x"] for f in run.failures] == [2]
+        # the healthy points all completed despite the casualty
+        healthy = [v for v in run.values if v is not None]
+        assert [v["y"] for v in healthy] == [1, 3, 4]
+        assert run.stats["failed"] == 1
+        assert run.stats["executed"] == 3
+
+    def test_failure_is_contained_in_parallel_too(self):
+        run = Executor(workers=2).run(self.SPEC, fragile_kernel)
+        assert [f.point.params["x"] for f in run.failures] == [2]
+        assert sum(v is not None for v in run.values) == 3
+
+    def test_run_sweep_raises_loudly_naming_the_casualty(self):
+        with pytest.raises(SweepError) as excinfo:
+            run_sweep(self.SPEC, fragile_kernel)
+        assert "1 of 4" in str(excinfo.value)
+        assert "x=2" in str(excinfo.value)
+        # the partial run rides along for forensics
+        assert sum(v is not None for v in excinfo.value.run.values) == 3
+
+    def test_retries_are_bounded_and_counted(self):
+        executor = Executor(workers=0, retries=2)
+        run = executor.run(self.SPEC, fragile_kernel)
+        assert run.failures[0].attempts == 3
+        assert run.stats["retried"] == 2
+
+    def test_non_dict_return_is_an_error(self):
+        run = Executor(workers=0).run(self.SPEC, typed_kernel)
+        assert len(run.failures) == 4
+        assert "expected dict" in run.failures[0].error
+
+    def test_cache_warm_run_executes_nothing(self, tmp_path):
+        store = ResultStore(root=tmp_path, fingerprint="f" * 16)
+        cold = Executor(workers=0)
+        cold.run(self.SPEC, noisy_kernel, store=store)
+        assert cold.stats["executed"] == 4
+        warm = Executor(workers=0)
+        run = warm.run(self.SPEC, noisy_kernel, store=store)
+        assert warm.stats == {
+            "points": 4,
+            "executed": 0,
+            "cached": 4,
+            "retried": 0,
+            "failed": 0,
+        }
+        assert run.values == cold.run(self.SPEC, noisy_kernel).values
+
+    def test_run_log_covers_every_point(self, tmp_path):
+        log = RunLog(tmp_path / "run.jsonl")
+        run_sweep(self.SPEC, noisy_kernel, log=log)
+        log.close()
+        events = [
+            json.loads(line)["event"]
+            for line in log.path.read_text().strip().splitlines()
+        ]
+        assert events[0] == "sweep_started"
+        assert events[-1] == "sweep_completed"
+        assert events.count("point_completed") == 4
+
+    def test_series_assembles_in_spec_order(self):
+        run = run_sweep(self.SPEC, noisy_kernel)
+        series = run.series(name="s")
+        assert series.x == [1, 2, 3, 4]
+        assert series.x_label == "x"
+
+    def test_kernel_name_is_dotted_identity(self):
+        assert kernel_name(noisy_kernel).endswith("test_runner:noisy_kernel")
+
+
+# ---------------------------------------------------------------------------
+# the acceptance property: F7 parallel == serial == cache-warm, bytewise
+# ---------------------------------------------------------------------------
+
+
+F7_KWARGS = dict(clocks_mhz=(20, 33), window=0.004)
+
+
+def _series_bytes(result):
+    """Every float of a Series, spelled exactly."""
+    series = result.series
+    payload = [series.x_label, [float(x).hex() for x in series.x]]
+    for name in sorted(series.columns):
+        payload.append([name, [float(v).hex() for v in series.columns[name]]])
+    return payload
+
+
+class TestF7EndToEnd:
+    def test_parallel_and_warm_runs_are_byte_identical(self, tmp_path):
+        serial = run_f7(**F7_KWARGS, workers=1)
+
+        parallel = run_f7(**F7_KWARGS, workers=4)
+        assert _series_bytes(parallel) == _series_bytes(serial)
+        assert parallel.metrics == serial.metrics
+
+        store = ResultStore(root=tmp_path)
+        cold = run_f7(**F7_KWARGS, workers=4, store=store)
+        assert _series_bytes(cold) == _series_bytes(serial)
+
+        # cache-warm: zero simulation points execute, bytes still equal
+        warm_executor_probe = Executor(workers=0)
+        from repro.results.experiments import _f7_point
+
+        spec = SweepSpec.grid(
+            "F7",
+            axes={"engine_mhz": F7_KWARGS["clocks_mhz"]},
+            fixed={
+                "sdu_size": 9180,
+                "window": F7_KWARGS["window"],
+                "simulate": True,
+            },
+        )
+        run = warm_executor_probe.run(spec, _f7_point, store=store)
+        assert warm_executor_probe.stats["executed"] == 0
+        assert warm_executor_probe.stats["cached"] == len(spec)
+
+        warm = run_f7(**F7_KWARGS, store=store)
+        assert _series_bytes(warm) == _series_bytes(serial)
+        assert warm.metrics == serial.metrics
+
+
+# ---------------------------------------------------------------------------
+# fault campaigns as seed sweeps
+# ---------------------------------------------------------------------------
+
+
+class TestCampaignSweep:
+    KWARGS = dict(
+        preset="uniform-loss", seeds=(1, 2), duration=0.004, pdus_per_vc=4
+    )
+
+    def test_seed_sweep_is_parallel_identical(self):
+        serial = run_campaign_sweep(**self.KWARGS)
+        parallel = run_campaign_sweep(**self.KWARGS, workers=2)
+        assert serial.values == parallel.values
+        summary = sweep_summary(serial)
+        assert summary["seeds"] == 2.0
+        assert summary["all_conserved"] == 1.0
+
+    def test_unknown_preset_and_design_fail_fast(self):
+        with pytest.raises(ValueError):
+            run_campaign_sweep(preset="nope")
+        with pytest.raises(ValueError):
+            run_campaign_sweep(design="nope")
+
+
+# ---------------------------------------------------------------------------
+# BaselineGate
+# ---------------------------------------------------------------------------
+
+
+class TestBaselineGate:
+    def test_tolerance_band_semantics(self):
+        band = Tolerance(rel=0.01, abs=0.0)
+        assert band.allows(100.0, 100.9)
+        assert not band.allows(100.0, 101.1)
+        assert Tolerance(rel=0.0, abs=0.5).allows(10.0, 10.4)
+        assert Tolerance().allows(float("nan"), float("nan"))
+        assert not Tolerance().allows(float("nan"), 1.0)
+        assert Tolerance().allows(math.inf, math.inf)
+        assert not Tolerance().allows(math.inf, 1.0)
+
+    def gate(self, tmp_path):
+        gate = BaselineGate(tmp_path)
+        gate.write(
+            Baseline(
+                experiment="T9",
+                metrics={"a": 100.0, "b": 5.0},
+                per_metric={"b": Tolerance(rel=0.0, abs=0.0)},
+                bench_kwargs={"window": 0.01},
+                note="test baseline",
+            )
+        )
+        return gate
+
+    def test_write_load_round_trip(self, tmp_path):
+        gate = self.gate(tmp_path)
+        loaded = gate.load("T9")
+        assert loaded.metrics == {"a": 100.0, "b": 5.0}
+        assert loaded.tolerance_for("b") == Tolerance(rel=0.0, abs=0.0)
+        assert loaded.tolerance_for("a") == Tolerance()
+        assert loaded.bench_kwargs == {"window": 0.01}
+        assert gate.known() == ["T9"]
+
+    def test_in_band_run_passes(self, tmp_path):
+        report = self.gate(tmp_path).compare("T9", {"a": 100.5, "b": 5.0})
+        assert report.ok
+        assert "PASS" in report.format()
+
+    def test_out_of_band_run_fails(self, tmp_path):
+        report = self.gate(tmp_path).compare("T9", {"a": 150.0, "b": 5.0})
+        assert not report.ok
+        assert [d.metric for d in report.failures] == ["a"]
+        assert "FAIL" in report.format()
+
+    def test_zero_tolerance_metric_is_exact(self, tmp_path):
+        report = self.gate(tmp_path).compare("T9", {"a": 100.0, "b": 5.0001})
+        assert not report.ok
+
+    def test_missing_metric_fails_new_metric_informs(self, tmp_path):
+        report = self.gate(tmp_path).compare("T9", {"a": 100.0, "c": 1.0})
+        assert not report.ok
+        assert [d.metric for d in report.failures] == ["b"]
+        assert report.new_metrics == ["c"]
+
+    def test_merge_aggregates_verdicts(self, tmp_path):
+        gate = self.gate(tmp_path)
+        ok = gate.compare("T9", {"a": 100.0, "b": 5.0})
+        bad = gate.compare("T9", {"a": 0.0, "b": 5.0})
+        merged = gate.merge({"one": ok, "two": bad})
+        assert not merged.ok
+        assert len(merged.deviations) == 4
+
+
+# ---------------------------------------------------------------------------
+# the registry and the bench CLI
+# ---------------------------------------------------------------------------
+
+
+class TestRegistryAndBench:
+    def test_registry_mirrors_experiments(self):
+        from repro.results.experiments import EXPERIMENTS
+        from repro.runner import registry
+
+        assert list(registry.REGISTRY) == list(EXPERIMENTS)
+        for entry in registry.entries():
+            assert entry.description, entry.id
+        assert registry.get("f7").sweep
+        assert not registry.get("T1").sweep
+        with pytest.raises(KeyError):
+            registry.get("T99")
+
+    def test_bench_update_then_check_round_trips(self, tmp_path):
+        from repro.runner.bench import main as bench_main
+
+        baselines = tmp_path / "baselines"
+        cache = tmp_path / "cache"
+        common = [
+            "T1",
+            "--baseline-dir",
+            str(baselines),
+            "--cache-dir",
+            str(cache),
+        ]
+        assert bench_main(common + ["--update"]) == 0
+        assert (baselines / "T1.json").exists()
+        assert bench_main(common + ["--check"]) == 0
+
+        # perturb one committed metric beyond tolerance -> exit 1
+        path = baselines / "T1.json"
+        payload = json.loads(path.read_text())
+        metric = sorted(payload["metrics"])[0]
+        payload["metrics"][metric] = payload["metrics"][metric] * 2 + 1.0
+        path.write_text(json.dumps(payload))
+        assert bench_main(common + ["--check"]) == 1
+
+    def test_bench_check_without_baseline_fails(self, tmp_path):
+        from repro.runner.bench import main as bench_main
+
+        code = bench_main(
+            ["T1", "--baseline-dir", str(tmp_path / "void"), "--check", "--no-cache"]
+        )
+        assert code == 1
+
+    def test_committed_baselines_cover_the_bench_set(self):
+        from pathlib import Path
+
+        from repro.runner import registry
+        from repro.runner.bench import default_baseline_dir
+
+        directory = default_baseline_dir()
+        assert directory == Path(__file__).resolve().parent.parent / (
+            "benchmarks/baselines"
+        )
+        committed = {p.stem for p in directory.glob("*.json")}
+        assert set(registry.BENCH_DEFAULT) <= committed
+
+    def test_cli_flags_reach_the_runner(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        code = cli_main(
+            [
+                "F6",
+                "--workers",
+                "2",
+                "--cache-dir",
+                str(tmp_path / "cache"),
+                "--log",
+                str(tmp_path / "run.jsonl"),
+            ]
+        )
+        assert code == 0
+        assert (tmp_path / "run.jsonl").exists()
+        events = [
+            json.loads(line)["event"]
+            for line in (tmp_path / "run.jsonl").read_text().splitlines()
+        ]
+        assert "sweep_started" in events
+
+    def test_help_enumerates_every_experiment(self, capsys):
+        from repro.cli import build_parser
+        from repro.results.experiments import EXPERIMENTS
+
+        text = build_parser().format_help()
+        for experiment_id in EXPERIMENTS:
+            assert f"\n  {experiment_id}" in text
+
+
+def test_instrument_executor_exposes_counters():
+    from repro.obs import instrument_executor
+    from repro.obs.metrics import MetricsRegistry
+    from repro.sim.core import Simulator
+
+    registry = MetricsRegistry(Simulator())
+    executor = Executor(workers=0)
+    instrument_executor(registry, executor)
+    executor.run(SweepSpec.grid("X", axes={"x": (1, 2)}), noisy_kernel)
+    snap = registry.snapshot()
+    assert snap["runner.points"] == 2
+    assert snap["runner.executed"] == 2
+    assert snap["runner.cached"] == 0

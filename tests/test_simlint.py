@@ -62,6 +62,7 @@ FAMILY_CASES = [
     ("SL3", "taxonomy_violations.py", "SL301", 7, 15),
     ("SL4", "sim/scheduler_violations.py", "SL104", 9, 34),
     ("SL5", "hooks_violations.py", "SL501", 7, 15),
+    ("SL6", "runner_violations.py", "SL601", 11, 29),
 ]
 
 
@@ -98,9 +99,9 @@ def test_rule_selection_narrows_findings():
     assert {"SL301", "SL302", "SL303"} <= rules
 
 
-def test_registry_covers_all_five_families():
+def test_registry_covers_all_families():
     families = {rule_id[:3] for rule_id in RULE_REGISTRY if rule_id != "SL000" and rule_id != "SL001"}
-    assert {"SL1", "SL2", "SL3", "SL4", "SL5"} <= families
+    assert {"SL1", "SL2", "SL3", "SL4", "SL5", "SL6"} <= families
 
 
 def test_syntax_error_becomes_sl000(tmp_path):
