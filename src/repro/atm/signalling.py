@@ -10,14 +10,22 @@ version of that discipline:
   fixed binary encoding carried as AAL5 SDUs on VPI 0 / VCI 5;
 - a per-endpoint :class:`SignallingAgent` with call-reference
   allocation and a caller/callee state machine
-  (IDLE -> CALL_INITIATED -> ACTIVE -> RELEASING -> released);
+  (IDLE -> CALL_INITIATED -> ACTIVE -> RELEASING -> RELEASED);
 - callee-side admission policy via a callback, and automatic VC
   allocation out of the callee's table (the address travels back in
-  the CONNECT).
+  the CONNECT);
+- optional retransmission timers (:class:`SignallingTimers`) in the
+  spirit of Q.2931's T303/T308: a lost SETUP or RELEASE is resent on
+  a capped exponential backoff, and after ``max_retries``
+  retransmissions the call fails *terminally* -- the caller's
+  ``connected`` event raises :class:`CallTimeout` (a
+  :class:`CallRefused`) instead of hanging forever.
 
 The agents run over the same data path as user traffic, so a SETUP
 really is segmented into cells, crosses the link, and pays the engine
 budgets -- call-setup latency is therefore a measurable quantity.
+Backoff jitter is drawn from a named :class:`~repro.sim.random.RandomStreams`
+stream, so retransmission schedules are a pure function of the seed.
 """
 
 from __future__ import annotations
@@ -25,11 +33,12 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.atm.addressing import VCI_SIGNALLING, VcAddress
 from repro.sim.core import Event, Simulator
 from repro.sim.monitor import Counter
+from repro.sim.random import RandomStreams
 
 SIGNALLING_VC = VcAddress(0, VCI_SIGNALLING)
 
@@ -49,6 +58,61 @@ class CallState(enum.Enum):
     CALL_INITIATED = "call-initiated"  #: caller sent SETUP
     ACTIVE = "active"  #: CONNECT exchanged, user VC open
     RELEASING = "releasing"  #: RELEASE sent, awaiting completion
+    RELEASED = "released"  #: release handshake (or forced clear) done
+    REFUSED = "refused"  #: far end rejected the SETUP
+    FAILED = "failed"  #: retry budget exhausted, call abandoned
+
+    @property
+    def terminal(self) -> bool:
+        """True for states a finished call may legitimately rest in."""
+        return self in (CallState.RELEASED, CallState.REFUSED, CallState.FAILED)
+
+
+@dataclass(frozen=True)
+class SignallingTimers:
+    """Retransmission policy for SETUP (T303-style) and RELEASE (T308-style).
+
+    The n-th retransmission waits ``min(base * backoff**n, cap)``
+    seconds, scaled by a jitter factor in ``[1-jitter, 1+jitter]``
+    drawn from the agent's random stream.  After ``max_retries``
+    retransmissions plus one final wait, the call is abandoned.
+    """
+
+    t303: float = 1e-3  #: initial SETUP retransmission interval (s)
+    t308: float = 1e-3  #: initial RELEASE retransmission interval (s)
+    backoff: float = 2.0  #: exponential growth factor per attempt
+    cap: float = 8e-3  #: ceiling on any single interval (s)
+    max_retries: int = 4  #: retransmissions before giving up
+    jitter: float = 0.1  #: fractional schedule jitter, 0 disables
+
+    def __post_init__(self) -> None:
+        if self.t303 <= 0 or self.t308 <= 0:
+            raise ValueError("timer bases must be positive")
+        if self.backoff < 1.0:
+            raise ValueError("backoff factor must be >= 1")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter fraction must be in [0, 1)")
+
+    def worst_case_total(self) -> float:
+        """Upper bound on the life of a timer chain (for sim drain sizing)."""
+        total = sum(
+            min(self.t303 * self.backoff**n, self.cap)
+            for n in range(self.max_retries + 1)
+        )
+        return total * (1.0 + self.jitter)
+
+
+def backoff_schedule(timers: SignallingTimers, base: float, rng=None) -> Tuple[float, ...]:
+    """The waits before retransmissions 1..max_retries plus the give-up wait."""
+    delays = []
+    for attempt in range(timers.max_retries + 1):
+        delay = min(base * timers.backoff**attempt, timers.cap)
+        if timers.jitter and rng is not None:
+            delay *= 1.0 + timers.jitter * (2.0 * rng.random() - 1.0)
+        delays.append(delay)
+    return tuple(delays)
 
 
 @dataclass(frozen=True)
@@ -104,6 +168,8 @@ class Call:
     connected: Optional[Event] = None
     #: Fires when the release handshake completes.
     released: Optional[Event] = None
+    #: Retransmissions spent on this call so far.
+    retries: int = 0
 
 
 class SignallingAgent:
@@ -123,6 +189,12 @@ class SignallingAgent:
     The callee accepts by default; install ``on_setup`` to apply
     admission control (return False to refuse -- the caller's
     ``connected`` event then fails with :class:`CallRefused`).
+
+    Pass ``timers=SignallingTimers()`` to arm retransmission: lost
+    SETUP/RELEASE messages are resent on a capped exponential backoff
+    and exhausted calls end in a *terminal* state instead of hanging.
+    Without timers the agent behaves exactly as the lossless-path
+    original (no background processes, no extra traffic).
     """
 
     def __init__(
@@ -131,16 +203,34 @@ class SignallingAgent:
         interface,
         on_setup: Optional[Callable[[SignallingMessage], bool]] = None,
         name: str = "",
+        timers: Optional[SignallingTimers] = None,
+        streams: Optional[RandomStreams] = None,
     ) -> None:
         self.sim = sim
         self.interface = interface
         self.on_setup = on_setup
         self.name = name or f"{interface.name}.sig"
+        self.timers = timers
+        self._rng = (streams or RandomStreams(0)).stream(f"{self.name}.backoff")
         self._calls: Dict[int, Call] = {}
         self._call_refs = itertools.count(1)
+        #: Every call object this agent ever created (caller or callee
+        #: side), terminal or not -- the basis for "no call left in a
+        #: non-terminal state" audits.
+        self.call_log: List[Call] = []
         self.messages_sent = Counter(f"{self.name}.sent")
         self.messages_received = Counter(f"{self.name}.received")
         self.calls_refused = Counter(f"{self.name}.refused")
+        self.setup_retransmits = Counter(f"{self.name}.setup_retransmits")
+        self.release_retransmits = Counter(f"{self.name}.release_retransmits")
+        self.calls_timed_out = Counter(f"{self.name}.timed_out")
+        self.calls_restored = Counter(f"{self.name}.restored")
+        self.setup_duplicates = Counter(f"{self.name}.setup_duplicates")
+        #: Optional TraceRecorder for retry/timeout taxonomy events.
+        self.trace = None
+        #: Fired with the Call whenever one becomes ACTIVE (either
+        #: side) -- the recovery plane uses it to protect the VC.
+        self.on_call_active: Optional[Callable[[Call], None]] = None
 
         self._open_signalling_channel()
 
@@ -170,6 +260,10 @@ class SignallingAgent:
         self.messages_sent.increment()
         self.interface.send(SIGNALLING_VC, message.encode())
 
+    def _emit(self, name: str, **args) -> None:
+        if self.trace is not None:
+            self.trace.emit(name, actor=self.name, **args)
+
     # -- caller side ---------------------------------------------------------
 
     def place_call(self, peak_rate_bps: Optional[float] = None) -> Call:
@@ -184,6 +278,7 @@ class SignallingAgent:
             released=self.sim.event(),
         )
         self._calls[call_ref] = call
+        self.call_log.append(call)
         self._send(
             SignallingMessage(
                 MessageType.SETUP,
@@ -191,6 +286,8 @@ class SignallingAgent:
                 peak_rate_bps=int(peak_rate_bps or 0),
             )
         )
+        if self.timers is not None:
+            self.sim.process(self._setup_timer(call))
         return call
 
     def release_call(self, call: Call) -> Event:
@@ -199,7 +296,24 @@ class SignallingAgent:
             raise ValueError(f"call {call.call_ref} is not active")
         call.state = CallState.RELEASING
         self._send(SignallingMessage(MessageType.RELEASE, call.call_ref))
+        if self.timers is not None:
+            self.sim.process(self._release_timer(call))
         return call.released
+
+    def reestablish(self, call: Call) -> Call:
+        """Place a replacement call carrying the same traffic contract.
+
+        Used by the recovery plane to restore alarmed or timed-out
+        calls once their link supervisor returns to UP.
+        """
+        replacement = self.place_call(peak_rate_bps=call.peak_rate_bps)
+        self.calls_restored.increment()
+        self._emit(
+            "sig.call.restored",
+            old_call_ref=call.call_ref,
+            new_call_ref=replacement.call_ref,
+        )
+        return replacement
 
     def call_for(self, call_ref: int) -> Optional[Call]:
         return self._calls.get(call_ref)
@@ -209,6 +323,75 @@ class SignallingAgent:
         return sum(
             1 for c in self._calls.values() if c.state is CallState.ACTIVE
         )
+
+    @property
+    def unresolved_calls(self) -> List[Call]:
+        """Calls stuck mid-handshake: neither ACTIVE nor terminal."""
+        pending = (CallState.IDLE, CallState.CALL_INITIATED, CallState.RELEASING)
+        return [c for c in self.call_log if c.state in pending]
+
+    # -- retransmission timers ----------------------------------------------
+
+    def _setup_timer(self, call: Call):
+        schedule = backoff_schedule(self.timers, self.timers.t303, self._rng)
+        for attempt, delay in enumerate(schedule, start=1):
+            yield self.sim.timeout(delay)
+            if call.state is not CallState.CALL_INITIATED:
+                return  # resolved (connected, refused, or released)
+            if attempt > self.timers.max_retries:
+                break
+            call.retries = attempt
+            self.setup_retransmits.increment()
+            self._emit(
+                "sig.retransmit",
+                message="SETUP",
+                call_ref=call.call_ref,
+                attempt=attempt,
+            )
+            self._send(
+                SignallingMessage(
+                    MessageType.SETUP,
+                    call.call_ref,
+                    peak_rate_bps=int(call.peak_rate_bps or 0),
+                )
+            )
+        if call.state is not CallState.CALL_INITIATED:
+            return
+        self._calls.pop(call.call_ref, None)
+        call.state = CallState.FAILED
+        self.calls_timed_out.increment()
+        self._emit("sig.call.timeout", message="SETUP", call_ref=call.call_ref)
+        if call.connected is not None and not call.connected.triggered:
+            call.connected.fail(CallTimeout(call.call_ref))
+
+    def _release_timer(self, call: Call):
+        schedule = backoff_schedule(self.timers, self.timers.t308, self._rng)
+        for attempt, delay in enumerate(schedule, start=1):
+            yield self.sim.timeout(delay)
+            if call.state is not CallState.RELEASING:
+                return
+            if attempt > self.timers.max_retries:
+                break
+            call.retries = attempt
+            self.release_retransmits.increment()
+            self._emit(
+                "sig.retransmit",
+                message="RELEASE",
+                call_ref=call.call_ref,
+                attempt=attempt,
+            )
+            self._send(SignallingMessage(MessageType.RELEASE, call.call_ref))
+        if call.state is not CallState.RELEASING:
+            return
+        # Forced local clear: the peer never confirmed, release anyway.
+        self._calls.pop(call.call_ref, None)
+        call.state = CallState.RELEASED
+        self.calls_timed_out.increment()
+        self._emit("sig.call.timeout", message="RELEASE", call_ref=call.call_ref)
+        if call.address is not None and call.address in self.interface.vc_table:
+            self.interface.close_vc(call.address)
+        if call.released is not None and not call.released.triggered:
+            call.released.trigger(None)
 
     # -- message handling ---------------------------------------------------------
 
@@ -223,6 +406,21 @@ class SignallingAgent:
         handler(message)
 
     def _on_setup(self, message: SignallingMessage) -> None:
+        existing = self._calls.get(message.call_ref)
+        if existing is not None and not existing.is_caller:
+            # Retransmitted SETUP for a call we already accepted: the
+            # CONNECT was lost, so repeat it for the same VC.
+            if existing.state is CallState.ACTIVE:
+                self.setup_duplicates.increment()
+                self._send(
+                    SignallingMessage(
+                        MessageType.CONNECT,
+                        message.call_ref,
+                        vpi=existing.address.vpi,
+                        vci=existing.address.vci,
+                    )
+                )
+            return
         if self.on_setup is not None and not self.on_setup(message):
             self.calls_refused.increment()
             self._send(
@@ -240,6 +438,9 @@ class SignallingAgent:
             released=self.sim.event(),
         )
         self._calls[message.call_ref] = call
+        self.call_log.append(call)
+        if self.on_call_active is not None:
+            self.on_call_active(call)
         self._send(
             SignallingMessage(
                 MessageType.CONNECT,
@@ -259,12 +460,18 @@ class SignallingAgent:
         )
         call.address = address
         call.state = CallState.ACTIVE
+        if self.on_call_active is not None:
+            self.on_call_active(call)
         call.connected.trigger(address)
 
     def _on_release(self, message: SignallingMessage) -> None:
         call = self._calls.pop(message.call_ref, None)
-        if call is not None and call.address is not None:
-            self.interface.close_vc(call.address)
+        if call is not None:
+            call.state = CallState.RELEASED
+            if call.address is not None and call.address in self.interface.vc_table:
+                self.interface.close_vc(call.address)
+            if call.released is not None and not call.released.triggered:
+                call.released.trigger(None)
         self._send(
             SignallingMessage(MessageType.RELEASE_COMPLETE, message.call_ref)
         )
@@ -275,9 +482,11 @@ class SignallingAgent:
             return
         if call.state is CallState.CALL_INITIATED:
             # Refusal: the far end answered SETUP with RELEASE_COMPLETE.
+            call.state = CallState.REFUSED
             call.connected.fail(CallRefused(call.call_ref))
             return
-        if call.address is not None:
+        call.state = CallState.RELEASED
+        if call.address is not None and call.address in self.interface.vc_table:
             self.interface.close_vc(call.address)
         if call.released is not None and not call.released.triggered:
             call.released.trigger(None)
@@ -285,3 +494,7 @@ class SignallingAgent:
 
 class CallRefused(Exception):
     """The callee's admission policy rejected the SETUP."""
+
+
+class CallTimeout(CallRefused):
+    """The retry budget ran out before the far end answered."""

@@ -62,6 +62,7 @@ from repro.faults.plan import (
     EngineStallPlan,
     FaultPlan,
     InterruptStormPlan,
+    LinkFlapPlan,
     TailLossPlan,
     UniformLossPlan,
 )
@@ -84,6 +85,7 @@ __all__ = [
     "FaultCampaign",
     "FaultPlan",
     "InterruptStormPlan",
+    "LinkFlapPlan",
     "PLAN_PRESETS",
     "TailLossPlan",
     "UniformLossPlan",

@@ -13,6 +13,7 @@ Plans plug into hooks the components already expose:
 plan                    hook
 ======================  =====================================================
 :class:`UniformLossPlan`    :class:`~repro.atm.errors.ScheduledLoss` on the link
+:class:`LinkFlapPlan`       total-loss windows on the link (outage + return)
 :class:`BurstLossPlan`      Gilbert-Elliott chain, window-gated, on the link
 :class:`TailLossPlan`       :class:`~repro.atm.errors.TailLoss` on the link
 :class:`CorruptionPlan`     ``error_model`` hook on the link
@@ -98,6 +99,42 @@ class BurstLossPlan(FaultPlan):
             rng=rng,
         )
         campaign.link_loss.add(ScheduledLoss(chain, self.start, self.stop))
+
+
+@dataclass(frozen=True)
+class LinkFlapPlan(FaultPlan):
+    """Total forward-link outage for *down_for* seconds, optionally recurring.
+
+    Each flap is a ``ScheduledLoss`` window around a loss model that
+    drops *everything*, so the link goes administratively dark and
+    comes back -- the cleanest stimulus for the recovery plane's
+    continuity checks.  With *period* set, ``repeats`` flaps start
+    every *period* seconds; the link must be up between flaps
+    (``period > down_for``).
+    """
+
+    start: float = 0.005
+    down_for: float = 0.004
+    period: float = 0.0  #: spacing between flap starts; 0 = single flap
+    repeats: int = 1
+    label: str = "link-flap"
+
+    def __post_init__(self) -> None:
+        if self.down_for <= 0:
+            raise ValueError("down_for must be positive")
+        if self.repeats < 1:
+            raise ValueError("repeats must be >= 1")
+        if self.repeats > 1 and self.period <= self.down_for:
+            raise ValueError(
+                "recurring flaps need period > down_for (link must come up)"
+            )
+
+    def apply(self, campaign, rng: random.Random) -> None:
+        for k in range(self.repeats):
+            t0 = self.start + k * self.period
+            campaign.link_loss.add(
+                ScheduledLoss(UniformLoss(1.0, rng=rng), t0, t0 + self.down_for)
+            )
 
 
 @dataclass(frozen=True)

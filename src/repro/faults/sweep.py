@@ -44,6 +44,7 @@ from repro.faults.plan import (
     EngineStallPlan,
     FaultPlan,
     InterruptStormPlan,
+    LinkFlapPlan,
     TailLossPlan,
     UniformLossPlan,
 )
@@ -98,6 +99,16 @@ def _preset_interrupt_storm() -> Tuple[FaultPlan, ...]:
     return (InterruptStormPlan(start=0.002, stop=0.012, rate_hz=20e3),)
 
 
+def _preset_link_flap() -> Tuple[FaultPlan, ...]:
+    """One total outage mid-run: dark for 4 ms, then back."""
+    return (LinkFlapPlan(start=0.005, down_for=0.004),)
+
+
+def _preset_link_flap_recurring() -> Tuple[FaultPlan, ...]:
+    """Three short outages, 4 ms apart: a bouncing physical layer."""
+    return (LinkFlapPlan(start=0.003, down_for=0.0015, period=0.004, repeats=3),)
+
+
 def _preset_degraded_link() -> Tuple[FaultPlan, ...]:
     """The kitchen sink: bursty loss + corruption + an interrupt storm."""
     return (
@@ -113,6 +124,8 @@ PLAN_PRESETS: Dict[str, Callable[[], Tuple[FaultPlan, ...]]] = {
     "uniform-loss": _preset_uniform_loss,
     "burst-loss": _preset_burst_loss,
     "tail-loss": _preset_tail_loss,
+    "link-flap": _preset_link_flap,
+    "link-flap-recurring": _preset_link_flap_recurring,
     "corruption": _preset_corruption,
     "engine-stall": _preset_engine_stall,
     "cam-miss": _preset_cam_miss,

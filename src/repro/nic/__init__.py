@@ -40,7 +40,7 @@ from repro.nic.costs import (
 from repro.nic.descriptors import RxCompletion, TxDescriptor
 from repro.nic.engine import EngineClock
 from repro.nic.fifo import CellFifo
-from repro.nic.nic import HostNetworkInterface, NicStats, connect
+from repro.nic.nic import HostNetworkInterface, NicStats, OamPingTimeout, connect
 from repro.nic.rx import FrameDiscardPolicy
 from repro.nic.sarglue import Aal5Glue, Aal34Glue, glue_for
 
@@ -61,6 +61,7 @@ __all__ = [
     "I960_33MHZ",
     "NicConfig",
     "NicStats",
+    "OamPingTimeout",
     "RxCompletion",
     "RxCostModel",
     "TxCostModel",

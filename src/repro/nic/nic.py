@@ -27,7 +27,13 @@ from typing import Callable, Dict, Optional, Tuple
 
 from repro.atm.addressing import VcAddress
 from repro.atm.errors import LossModel
-from repro.atm.oam import LoopbackCell, OamFormatError
+from repro.atm.oam import (
+    AlarmCell,
+    ContinuityCell,
+    LoopbackCell,
+    OamFormatError,
+    decode_oam,
+)
 from repro.atm.link import LinkSpec, PhysicalLink
 from repro.atm.vc import ServiceClass, VcTable, VirtualConnection
 from repro.aal.interface import ReassemblyFailure
@@ -78,6 +84,16 @@ class NicStats:
     frames_truncated: int = 0
     cells_hec_discarded: int = 0
     contexts_quota_evicted: int = 0
+    # fault-management plane (zero unless OAM/resilience machinery runs)
+    oam_ping_timeouts: int = 0
+    oam_ping_retries: int = 0
+    oam_cc_received: int = 0
+    oam_ais_received: int = 0
+    oam_rdi_received: int = 0
+
+
+class OamPingTimeout(Exception):
+    """An F5 loopback probe went unanswered past its retry budget."""
 
 
 class HostNetworkInterface:
@@ -158,6 +174,15 @@ class HostNetworkInterface:
         self._oam_correlations = itertools.count(1)
         self.oam_reflections = 0
         self.oam_bad_cells = 0
+        self.oam_ping_timeouts = 0
+        self.oam_ping_retries = 0
+        self.oam_cc_received = 0
+        self.oam_ais_received = 0
+        self.oam_rdi_received = 0
+        #: Recovery-plane hooks (duck-typed; a LinkSupervisor installs
+        #: these): called with the decoded AlarmCell / ContinuityCell.
+        self.on_alarm: Optional[Callable[[AlarmCell], None]] = None
+        self.on_cc: Optional[Callable[[ContinuityCell], None]] = None
         self.reassembly_timers = ReassemblyTimerWheel(
             sim,
             timeout=config.reassembly_timeout,
@@ -280,15 +305,35 @@ class HostNetworkInterface:
 
     # -- management plane -----------------------------------------------------------
 
-    def oam_ping(self, address: VcAddress) -> Event:
+    #: Default loopback-reply deadline: generous against any sane link
+    #: (hundreds of cell times at OC-3) yet short enough to reap the
+    #: correlation within a single experiment run.
+    DEFAULT_OAM_PING_TIMEOUT = 5e-3
+
+    def oam_ping(
+        self,
+        address: VcAddress,
+        timeout: Optional[float] = None,
+        retries: int = 0,
+    ) -> Event:
         """F5 loopback ping on an open VC; the event's value is the RTT.
 
         The loopback cell is injected straight into the transmit FIFO
         and reflected by the far interface's OAM unit -- neither host
         CPU is involved, so the RTT measures the adaptor+link path.
+
+        A watchdog reaps the pending correlation if no reply arrives
+        within ``timeout`` (default :data:`DEFAULT_OAM_PING_TIMEOUT`):
+        up to ``retries`` fresh probes are sent first, then the event
+        fails with :class:`OamPingTimeout` and the entry is removed --
+        unanswered pings no longer leak.
         """
         if self.vc_table.lookup(address) is None:
             raise ValueError(f"VC {address} is not open on {self.name}")
+        if timeout is None:
+            timeout = self.DEFAULT_OAM_PING_TIMEOUT
+        if timeout <= 0:
+            raise ValueError("oam_ping timeout must be positive")
         self.start()
         correlation = next(self._oam_correlations)
         completed = self.sim.event()
@@ -297,27 +342,78 @@ class HostNetworkInterface:
             vc=address, correlation=correlation, to_be_looped=True
         ).encode()
         self.sim.process(self._inject_cell(probe))
+        self.sim.process(
+            self._ping_watchdog(address, correlation, timeout, retries)
+        )
         return completed
+
+    def _ping_watchdog(
+        self, address: VcAddress, correlation: int, timeout: float, retries: int
+    ):
+        attempts = 0
+        while True:
+            yield self.sim.timeout(timeout)
+            if correlation not in self._oam_pending:
+                return  # reply arrived; nothing to reap
+            if attempts < retries:
+                attempts += 1
+                self.oam_ping_retries += 1
+                # Re-arm the RTT clock: the retry measures its own trip.
+                completed, _ = self._oam_pending[correlation]
+                self._oam_pending[correlation] = (completed, self.sim.now)
+                probe = LoopbackCell(
+                    vc=address, correlation=correlation, to_be_looped=True
+                ).encode()
+                self.sim.process(self._inject_cell(probe))
+                continue
+            completed, _ = self._oam_pending.pop(correlation)
+            self.oam_ping_timeouts += 1
+            if self.trace is not None:
+                self.trace.emit(
+                    "oam.ping.timeout",
+                    actor=self.name,
+                    vc=address,
+                    correlation=correlation,
+                    attempts=attempts + 1,
+                )
+            if not completed.triggered:
+                completed.fail(OamPingTimeout(f"{self.name} ping {correlation}"))
+            return
+
+    def inject_cell(self, cell) -> None:
+        """Queue a pre-built management cell into the transmit FIFO."""
+        self.start()
+        self.sim.process(self._inject_cell(cell))
 
     def _inject_cell(self, cell):
         yield self.tx_fifo.put(cell)
 
     def _handle_oam(self, cell) -> None:
         try:
-            loopback = LoopbackCell.decode(cell)
+            pdu = decode_oam(cell)
         except OamFormatError:
             self.oam_bad_cells += 1
             return
-        if loopback.to_be_looped:
-            self.oam_reflections += 1
-            self.sim.process(
-                self._inject_cell(loopback.reflection().encode())
-            )
-            return
-        pending = self._oam_pending.pop(loopback.correlation, None)
-        if pending is not None:
-            completed, sent_at = pending
-            completed.trigger(self.sim.now - sent_at)
+        if isinstance(pdu, LoopbackCell):
+            if pdu.to_be_looped:
+                self.oam_reflections += 1
+                self.sim.process(self._inject_cell(pdu.reflection().encode()))
+                return
+            pending = self._oam_pending.pop(pdu.correlation, None)
+            if pending is not None:
+                completed, sent_at = pending
+                completed.trigger(self.sim.now - sent_at)
+        elif isinstance(pdu, ContinuityCell):
+            self.oam_cc_received += 1
+            if self.on_cc is not None:
+                self.on_cc(pdu)
+        elif isinstance(pdu, AlarmCell):
+            if pdu.kind == "ais":
+                self.oam_ais_received += 1
+            else:
+                self.oam_rdi_received += 1
+            if self.on_alarm is not None:
+                self.on_alarm(pdu)
 
     # -- data path: receive plumbing ---------------------------------------------------
 
@@ -393,6 +489,11 @@ class HostNetworkInterface:
             contexts_quota_evicted=reasm.failures.get(
                 ReassemblyFailure.QUOTA, 0
             ),
+            oam_ping_timeouts=self.oam_ping_timeouts,
+            oam_ping_retries=self.oam_ping_retries,
+            oam_cc_received=self.oam_cc_received,
+            oam_ais_received=self.oam_ais_received,
+            oam_rdi_received=self.oam_rdi_received,
         )
 
 

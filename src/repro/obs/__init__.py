@@ -57,6 +57,8 @@ from repro.obs.metrics import (
     instrument_executor,
     instrument_interface,
     instrument_link,
+    instrument_signalling,
+    instrument_supervisor,
 )
 from repro.obs.profiler import (
     PHASE_OF_OP,
@@ -89,6 +91,8 @@ __all__ = [
     "instrument_executor",
     "instrument_interface",
     "instrument_link",
+    "instrument_signalling",
+    "instrument_supervisor",
     "profile_interface",
     "read_jsonl",
     "write_chrome_trace",

@@ -386,6 +386,56 @@ def instrument_link(
     )
 
 
+def instrument_supervisor(
+    registry: MetricsRegistry, supervisor, prefix: str = "sup."
+) -> None:
+    """Expose a :class:`repro.resilience.LinkSupervisor`'s counters.
+
+    The state gauge reports the enum's value string; the counters are
+    the alarm-lifecycle quantities R2 and the campaign dashboards
+    chart.
+    """
+    registry.gauge(
+        prefix + "state",
+        lambda: supervisor.state.value,
+        description="link supervisor state (up/degraded/down/recovering)",
+    )
+    for name, description in (
+        ("transitions", "state-machine transitions"),
+        ("loc_events", "loss-of-continuity declarations"),
+        ("alarms_received", "AIS/RDI alarm cells consumed"),
+        ("rdi_cells_sent", "RDI cells injected upstream"),
+        ("ais_cells_sent", "AIS cells injected downstream"),
+    ):
+        registry.counter(
+            prefix + name,
+            (lambda n: lambda: getattr(supervisor, n))(name),
+            unit="events",
+            description=description,
+        )
+
+
+def instrument_signalling(
+    registry: MetricsRegistry, agent, prefix: str = "sig."
+) -> None:
+    """Expose a :class:`repro.atm.signalling.SignallingAgent`'s counters."""
+    for name, description in (
+        ("messages_sent", "signalling messages transmitted"),
+        ("messages_received", "signalling messages consumed"),
+        ("calls_refused", "SETUPs rejected by admission policy"),
+        ("setup_retransmits", "SETUP retransmissions (T303 expiry)"),
+        ("release_retransmits", "RELEASE retransmissions (T308 expiry)"),
+        ("calls_timed_out", "calls abandoned after retry exhaustion"),
+        ("calls_restored", "calls re-placed by the recovery plane"),
+    ):
+        registry.counter(
+            prefix + name,
+            (lambda n: lambda: getattr(agent, n).count)(name),
+            unit="events",
+            description=description,
+        )
+
+
 def instrument_executor(
     registry: MetricsRegistry, executor, prefix: str = "runner."
 ) -> None:

@@ -33,6 +33,8 @@ from repro.obs.metrics import (
     instrument_auditor,
     instrument_interface,
     instrument_link,
+    instrument_signalling,
+    instrument_supervisor,
 )
 from repro.obs.profiler import CycleProfiler, profile_interface
 from repro.obs.trace import TraceRecorder
@@ -215,6 +217,104 @@ def _build_r1(
     return 20 * n_vcs * (sdu_size / 48 + 2) * config.link.cell_time
 
 
+def _build_r2(
+    run: TracedRun,
+    sdu_size: int = 4096,
+    n_calls: int = 4,
+    flap_start: float = 0.006,
+    flap_down: float = 0.005,
+    seed: int = 1,
+) -> float:
+    """R2's recovery-on arm: link flap, supervisors, timers, restorer."""
+    from repro.atm.errors import ScheduledLoss, UniformLoss
+    from repro.atm.signalling import (
+        CallRefused,
+        CallState,
+        SignallingAgent,
+    )
+    from repro.faults.audit import CellConservationAuditor
+    from repro.nic.config import aurora_oc3
+    from repro.nic.nic import HostNetworkInterface, connect
+    from repro.resilience.experiment import (
+        R2_SUPERVISION,
+        R2_TIMERS,
+        _call_start_times,
+    )
+    from repro.resilience.restore import CallRestorer
+    from repro.resilience.supervisor import LinkSupervisor
+    from repro.sim.random import RandomStreams
+
+    duration = 0.02
+    sim = run.sim
+    streams = RandomStreams(seed)
+    config = aurora_oc3()
+    a = HostNetworkInterface(sim, config, name="a")
+    b = HostNetworkInterface(sim, config, name="b")
+    flap = ScheduledLoss(
+        UniformLoss(1.0, rng=streams.stream("r2.flap")),
+        start=flap_start,
+        stop=flap_start + flap_down,
+    )
+    link_ab, link_ba = connect(sim, a, b, loss_ab=flap)
+    _instrument_pair(run, a, b)
+    link_ab.trace = run.recorder
+    link_ba.trace = run.recorder
+    instrument_link(run.registry, link_ab, prefix="link_ab.")
+    auditor = CellConservationAuditor(link_ab, b)
+    instrument_auditor(run.registry, auditor)
+
+    sig_a = SignallingAgent(sim, a, streams=streams, timers=R2_TIMERS)
+    sig_b = SignallingAgent(sim, b, streams=streams, timers=R2_TIMERS)
+    sig_a.trace = run.recorder
+    sig_b.trace = run.recorder
+    instrument_signalling(run.registry, sig_a, prefix="sig_a.")
+    instrument_signalling(run.registry, sig_b, prefix="sig_b.")
+    sup_a = LinkSupervisor(sim, a, config=R2_SUPERVISION, name="sup-a")
+    sup_b = LinkSupervisor(sim, b, config=R2_SUPERVISION, name="sup-b")
+    sup_a.trace = run.recorder
+    sup_b.trace = run.recorder
+    instrument_supervisor(run.registry, sup_a, prefix="sup_a.")
+    instrument_supervisor(run.registry, sup_b, prefix="sup_b.")
+    sig_a.on_call_active = lambda call: sup_a.protect(call.address)
+    sig_b.on_call_active = lambda call: sup_b.protect(call.address)
+    sup_a.start()
+    sup_b.start()
+    restorer = CallRestorer(sim, sig_a, sup_a)
+
+    payload = bytes(sdu_size)
+
+    def pump(call):
+        try:
+            address = yield call.connected
+        except CallRefused:
+            return
+        while sim.now < duration and call.state is CallState.ACTIVE:
+            yield a.send(address, payload)
+            yield sim.timeout(1.5e-3)
+
+    restorer.on_restored = lambda old, new: sim.process(pump(new))
+
+    def place(start_at: float):
+        yield sim.timeout(start_at)
+        call = sig_a.place_call()
+        restorer.track(call)
+        sim.process(pump(call))
+
+    for start_at in _call_start_times(n_calls, flap_start, flap_down):
+        sim.process(place(start_at))
+
+    run.title = (
+        f"{n_calls}-call link flap on {config.link.name} with the "
+        "fault-management plane on (R2's recovery arm)"
+    )
+    run.notes.append(
+        "watch oam.cc.loc / oam.alarm.* / link.supervisor.state / "
+        "sig.retransmit / sig.call.restored: the alarm protocol and the "
+        "restorer acting across the outage window"
+    )
+    return duration
+
+
 def _build_quickstart(run: TracedRun, sdu_size: int = 4096) -> float:
     """The examples/quickstart.py exchange, instrumented end to end."""
     from repro.nic.config import aurora_oc3
@@ -241,6 +341,7 @@ TRACEABLE: Dict[str, Tuple[Callable[[TracedRun], float], str]] = {
     "f2": (_build_f2, "greedy transmit path (F2's scenario)"),
     "f3": (_build_f3, "backpressured receive path (F3's scenario)"),
     "r1": (_build_r1, "lossy overload with frame discard (R1's scenario)"),
+    "r2": (_build_r2, "link-flap recovery plane (R2's recovery-on arm)"),
     "quickstart": (_build_quickstart, "the README quickstart exchange"),
 }
 

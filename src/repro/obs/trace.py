@@ -93,6 +93,18 @@ EVENT_TAXONOMY: Dict[str, str] = {
     "pdu.drop": "a PDU died; 'reason' names the cause",
     # -- reassembly timers ------------------------------------------------
     "rx.context.evicted": "reassembly context evicted by the quota",
+    # -- fault management (repro.resilience) ------------------------------
+    "oam.cc.loc": "continuity-check sink declared loss of continuity",
+    "oam.cc.resumed": "continuity restored at the sink after LOC",
+    "oam.alarm.raised": "supervisor injected an alarm cell (kind annotated)",
+    "oam.alarm.received": "far-end AIS/RDI alarm cell consumed (kind annotated)",
+    "oam.alarm.cleared": "alarm condition cleared by the supervisor",
+    "oam.ping.timeout": "loopback correlation reaped without a reply",
+    "link.supervisor.state": "link supervisor transition (from/to annotated)",
+    # -- signalling recovery ----------------------------------------------
+    "sig.retransmit": "signalling message retransmitted (type + attempt annotated)",
+    "sig.call.timeout": "call abandoned after retry exhaustion",
+    "sig.call.restored": "supervisor-driven re-establishment of an alarmed call",
 }
 
 #: Every value the ``reason`` argument of a drop event can take.  The

@@ -1,0 +1,27 @@
+"""The recovery subsystem: fault detection, alarms, and restoration.
+
+Closes the loop the fault-injection layer (:mod:`repro.faults`) opens:
+an injected outage is *detected* by continuity-check supervision
+(:mod:`repro.resilience.supervisor`), *signalled* with I.610 AIS/RDI
+alarm cells (:mod:`repro.atm.oam`), and *healed* by retransmission
+timers plus automatic call re-establishment
+(:mod:`repro.resilience.restore`).  The R2 experiment
+(:mod:`repro.resilience.experiment`) measures the difference that
+machinery makes under a seeded link flap.
+"""
+
+from repro.resilience.restore import CallRestorer
+from repro.resilience.supervisor import (
+    LinkState,
+    LinkSupervisor,
+    OAM_MGMT_VC,
+    SupervisorConfig,
+)
+
+__all__ = [
+    "CallRestorer",
+    "LinkState",
+    "LinkSupervisor",
+    "OAM_MGMT_VC",
+    "SupervisorConfig",
+]

@@ -1,0 +1,90 @@
+"""Automatic call re-establishment after a link recovers.
+
+A :class:`CallRestorer` bridges the two halves of the recovery plane:
+the :class:`~repro.resilience.supervisor.LinkSupervisor` (which knows
+*when* the path is usable again and *which* VCs were alarmed) and the
+:class:`~repro.atm.signalling.SignallingAgent` (which can place
+calls).  Track each caller-side call with :meth:`track`; when the
+supervisor completes a DOWN -> RECOVERING -> UP episode the restorer:
+
+- re-places every tracked call that *failed terminally* during the
+  outage (SETUP retry budget exhausted -> ``CallState.FAILED``);
+- releases and re-places every tracked call that is still ACTIVE but
+  whose VC was alarmed (the data path may have lost reassembly state
+  mid-frame, so a fresh VC is the clean restart).
+
+Replacement calls are tracked in turn, so repeated flaps keep being
+healed.  ``on_restored(old_call, new_call)`` lets the workload move
+its traffic onto the replacement.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, List, Optional
+
+from repro.atm.addressing import VcAddress
+from repro.atm.signalling import Call, CallState
+
+
+class CallRestorer:
+    """Re-places tracked calls when the supervisor returns to UP."""
+
+    def __init__(
+        self,
+        sim,
+        agent,
+        supervisor,
+        on_restored: Optional[Callable[[Call, Call], None]] = None,
+    ) -> None:
+        self.sim = sim
+        self.agent = agent
+        self.supervisor = supervisor
+        self.on_restored = on_restored
+        self.calls_restored = 0
+        self._tracked: List[Call] = []
+
+        previous = supervisor.on_recovered
+
+        def chained(alarmed: FrozenSet[VcAddress]) -> None:
+            if previous is not None:
+                previous(alarmed)
+            self.restore(alarmed)
+
+        supervisor.on_recovered = chained
+
+    def track(self, call: Call) -> Call:
+        """Watch a caller-side call; returns it for chaining."""
+        if not call.is_caller:
+            raise ValueError("restorer tracks caller-side calls only")
+        self._tracked.append(call)
+        return call
+
+    @property
+    def tracked(self) -> List[Call]:
+        return list(self._tracked)
+
+    def restore(self, alarmed: FrozenSet[VcAddress] = frozenset()) -> None:
+        """Heal every tracked call the outage broke."""
+        for index, call in enumerate(list(self._tracked)):
+            if call.state is CallState.FAILED:
+                self._replace(index, call)
+            elif (
+                call.state is CallState.ACTIVE
+                and call.address is not None
+                and call.address in alarmed
+            ):
+                self.sim.process(self._release_then_replace(index, call))
+
+    def _replace(self, index: int, old: Call) -> Call:
+        replacement = self.agent.reestablish(old)
+        self._tracked[index] = replacement
+        self.calls_restored += 1
+        if self.on_restored is not None:
+            self.on_restored(old, replacement)
+        return replacement
+
+    def _release_then_replace(self, index: int, old: Call):
+        yield self.agent.release_call(old)
+        # The supervisor may have gone DOWN again while we waited.
+        if self._tracked[index] is old:
+            self._replace(index, old)

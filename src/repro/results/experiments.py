@@ -1474,6 +1474,10 @@ def run_o1(duration: Optional[float] = None) -> ExperimentResult:
 # registry
 # ---------------------------------------------------------------------------
 
+# R2 lives with the recovery plane it measures; it imports
+# ExperimentResult lazily, so this import cannot cycle.
+from repro.resilience.experiment import run_r2  # noqa: E402
+
 EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
     "T1": run_t1,
     "T2": run_t2,
@@ -1492,6 +1496,7 @@ EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
     "A3": run_a3,
     "A4": run_a4,
     "R1": run_r1,
+    "R2": run_r2,
     "O1": run_o1,
 }
 

@@ -26,7 +26,7 @@ from repro.results.experiments import EXPERIMENTS, ExperimentResult
 from repro.runner.store import ResultStore, RunLog
 
 #: Experiments migrated onto the sweep runner (accept workers/store/log).
-SWEEP_IDS = frozenset({"F6", "T5", "F7", "R1"})
+SWEEP_IDS = frozenset({"F6", "T5", "F7", "R1", "R2"})
 
 #: Reduced parameters the bench gate runs each benched experiment with.
 #: Chosen so the whole gated set finishes in seconds while every
@@ -37,6 +37,7 @@ BENCH_KWARGS: Dict[str, Dict[str, Any]] = {
     "F6": {"vc_counts": [1, 4, 16], "window": 0.01},
     "F7": {"clocks_mhz": [10, 20, 25, 33, 50], "window": 0.01},
     "R1": {"loss_rates": [0.0, 0.01, 0.02], "window": 0.005},
+    "R2": {"seeds": [1, 2]},
 }
 
 

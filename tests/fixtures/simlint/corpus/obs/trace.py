@@ -12,6 +12,12 @@ EVENT_TAXONOMY = {
     "x.test.event": "an event the corpus pipeline may emit",
     "cell.drop": "a cell died; 'reason' names the cause",
     "pdu.drop": "a PDU died; 'reason' names the cause",
+    # Recovery-plane mirror: the corpus twin of the real taxonomy's
+    # oam.*/link.*/sig.* family, exercised by resilience_events.py.
+    "oam.cc.loc": "continuity-check silence window elapsed",
+    "oam.alarm.raised": "a defect started repeating alarm cells",
+    "link.supervisor.state": "the supervised link changed state",
+    "sig.retransmit": "a signalling message was re-sent on backoff",
 }
 
 DROP_REASONS = {
