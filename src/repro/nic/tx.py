@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Optional
 
 from repro.atm.addressing import VcAddress
+from repro.atm.burst import CellBurst
 from repro.atm.cell import PAYLOAD_SIZE
 from repro.atm.link import PhysicalLink
 from repro.host.dma import DmaEngine
@@ -157,52 +158,57 @@ class TxEngine:
             )
             total = len(cells)
             cell_interval = self._pacing_interval(descriptor.vc)
-            for index, cell in enumerate(cells):
-                position = CellPosition.of(index, total)
-                if self.profiler is not None:
-                    self.profiler.record_cell(
-                        "tx",
-                        position,
-                        costs.cell_breakdown(position),
-                        extra=self.glue.tx_extra_cycles,
+            if cell_interval is None and self.sim.fast_path:
+                # Unpaced fast path: emit the PDU's cells in
+                # pre-announced bursts, one event per burst.
+                yield from self._emit_cells_fast(descriptor, cells)
+            else:
+                for index, cell in enumerate(cells):
+                    position = CellPosition.of(index, total)
+                    if self.profiler is not None:
+                        self.profiler.record_cell(
+                            "tx",
+                            position,
+                            costs.cell_breakdown(position),
+                            extra=self.glue.tx_extra_cycles,
+                        )
+                    yield self.clock.work(
+                        costs.cell_cycles(position) + self.glue.tx_extra_cycles,
+                        tag="tx-cell",
                     )
-                yield self.clock.work(
-                    costs.cell_cycles(position) + self.glue.tx_extra_cycles,
-                    tag="tx-cell",
-                )
-                if cell_interval is not None:
-                    # Shape to the VC's peak cell rate.  A single-engine
-                    # firmware loop stalls on the pacer, so one heavily
-                    # shaped VC delays others behind it in the ring --
-                    # faithful to the era's in-order designs.
-                    slot = self._next_slot.get(descriptor.vc, 0.0)
-                    if self.sim.now < slot:
-                        self.pacing_stalls.increment()
-                        if self.trace is not None:
-                            self.trace.emit(
-                                "tx.cell.paced",
-                                actor=self.name,
-                                pdu_id=descriptor.pdu_id,
-                                vc=descriptor.vc,
-                                delay=slot - self.sim.now,
-                            )
-                        yield self.sim.timeout(slot - self.sim.now)
-                    self._next_slot[descriptor.vc] = (
-                        max(self.sim.now, slot) + cell_interval
-                    )
-                self.bufmem.record_read(PAYLOAD_SIZE)
-                cell.meta["pdu_id"] = descriptor.pdu_id
-                cell.meta["posted_at"] = descriptor.posted_at
-                if self.trace is not None:
-                    self.trace.tag_cell(cell)
-                    self.trace.emit(
-                        "tx.cell.sar",
-                        actor=self.name,
-                        cell=cell,
-                        position=position.value,
-                    )
-                yield self.fifo.put(cell)
-                self.cells_sent.increment()
+                    if cell_interval is not None:
+                        # Shape to the VC's peak cell rate.  A single-engine
+                        # firmware loop stalls on the pacer, so one heavily
+                        # shaped VC delays others behind it in the ring --
+                        # faithful to the era's in-order designs.
+                        slot = self._next_slot.get(descriptor.vc, 0.0)
+                        if self.sim.now < slot:
+                            self.pacing_stalls.increment()
+                            if self.trace is not None:
+                                self.trace.emit(
+                                    "tx.cell.paced",
+                                    actor=self.name,
+                                    pdu_id=descriptor.pdu_id,
+                                    vc=descriptor.vc,
+                                    delay=slot - self.sim.now,
+                                )
+                            yield self.sim.timeout(slot - self.sim.now)
+                        self._next_slot[descriptor.vc] = (
+                            max(self.sim.now, slot) + cell_interval
+                        )
+                    self.bufmem.record_read(PAYLOAD_SIZE)
+                    cell.meta["pdu_id"] = descriptor.pdu_id
+                    cell.meta["posted_at"] = descriptor.posted_at
+                    if self.trace is not None:
+                        self.trace.tag_cell(cell)
+                        self.trace.emit(
+                            "tx.cell.sar",
+                            actor=self.name,
+                            cell=cell,
+                            position=position.value,
+                        )
+                    yield self.fifo.put(cell)
+                    self.cells_sent.increment()
 
             # Completion status back to the host.
             yield self.clock.work(
@@ -225,6 +231,76 @@ class TxEngine:
                 )
             if self.on_pdu_sent is not None:
                 self.on_pdu_sent(descriptor)
+
+    def _emit_cells_fast(self, descriptor: TxDescriptor, cells):
+        """Fast-path segmentation: pre-announced bursts into the FIFO.
+
+        Per chunk of up to ``sim.config.burst_cells`` cells: reserve the
+        expanded FIFO space first, then charge every cell's cycles via
+        :meth:`~repro.nic.engine.EngineClock.charge_at` (identical
+        ledger order to the scalar ``work`` calls), chaining each cell's
+        virtual FIFO-arrival time from the post-reserve clock.  The
+        burst is handed over immediately -- its embedded arrivals are in
+        the future, so the framer/link serialize it with the exact
+        scalar wire timing -- and the engine sleeps once to its last
+        service end.
+        """
+        costs = self.costs
+        clock = self.clock
+        sim = self.sim
+        total = len(cells)
+        burst_len = max(1, min(sim.config.burst_cells, self.fifo.depth_cells // 2))
+        index = 0
+        while index < total:
+            chunk = cells[index : index + burst_len]
+            if not self.fifo.can_accept(len(chunk)):
+                yield self.fifo.reserve(len(chunk))
+            end = sim.now + clock.take_stall()
+            arrivals = []
+            for offset, cell in enumerate(chunk):
+                position = CellPosition.of(index + offset, total)
+                if self.profiler is not None:
+                    self.profiler.record_cell(
+                        "tx",
+                        position,
+                        costs.cell_breakdown(position),
+                        extra=self.glue.tx_extra_cycles,
+                    )
+                start = end
+                end = start + clock.charge_at(
+                    costs.cell_cycles(position) + self.glue.tx_extra_cycles,
+                    "tx-cell",
+                    start,
+                )
+                self.bufmem.record_read(PAYLOAD_SIZE)
+                cell.meta["pdu_id"] = descriptor.pdu_id
+                cell.meta["posted_at"] = descriptor.posted_at
+                if self.trace is not None:
+                    self.trace.tag_cell(cell)
+                    self.trace.emit(
+                        "tx.cell.sar",
+                        actor=self.name,
+                        cell=cell,
+                        position=position.value,
+                        ts=end,
+                    )
+                arrivals.append(end)
+            burst = CellBurst(chunk, arrivals)
+            if self.profiler is not None:
+                self.profiler.record_burst("tx", len(chunk))
+            if self.trace is not None:
+                self.trace.emit(
+                    "burst.form",
+                    actor=self.name,
+                    n_cells=len(chunk),
+                    pdu_id=descriptor.pdu_id,
+                    vc=descriptor.vc,
+                )
+            self.fifo.put_burst(burst)
+            self.cells_sent.increment(len(chunk))
+            index += len(chunk)
+            if end > sim.now:
+                yield sim.wake_at(end)
 
 
 class Framer:
@@ -257,8 +333,15 @@ class Framer:
 
     def _loop(self):
         while True:
-            cell = yield self.fifo.get()
+            item = yield self.fifo.get()
             if self.link is None:
                 raise RuntimeError(f"{self.name} has no link attached")
-            yield self.link.send(cell)
-            self.cells_framed.increment()
+            if isinstance(item, CellBurst):
+                # Fast path: the link serializes the whole run
+                # arithmetically; wait for its last wire-out, exactly as
+                # the scalar loop holds each cell through serialization.
+                yield self.link.send_burst(item)
+                self.cells_framed.increment(len(item))
+            else:
+                yield self.link.send(item)
+                self.cells_framed.increment()

@@ -379,7 +379,8 @@ def run_traced(
     return run
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro trace`` argument parser (shared with DOC103 checks)."""
     parser = argparse.ArgumentParser(
         prog="repro-atm trace",
         description="Run one experiment fully instrumented and export the trace.",
@@ -411,7 +412,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=None,
         help="metric sampling period in simulated seconds",
     )
-    args = parser.parse_args(argv)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
     run = run_traced(
         args.experiment,
         duration=args.duration,

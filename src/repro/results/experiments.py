@@ -24,6 +24,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.aal.aal5 import Aal5Segmenter, cells_for_sdu
 from repro.atm.addressing import VcAddress
+from repro.atm.burst import CellBurst
 from repro.analysis.latency import latency_model
 from repro.analysis.sweep import Series
 from repro.analysis.throughput import (
@@ -50,7 +51,7 @@ from repro.nic.costs import CellPosition
 from repro.nic.nic import HostNetworkInterface, connect
 from repro.results.tables import format_series, format_table
 from repro.runner import ResultStore, RunLog, SweepSpec, run_sweep
-from repro.sim.core import Simulator
+from repro.sim.core import SimConfig, Simulator
 from repro.sim.random import RandomStreams
 from repro.workloads.generators import (
     GreedySource,
@@ -215,23 +216,25 @@ def run_f2(
     config: Optional[NicConfig] = None,
     sizes: Sequence[int] = DEFAULT_SIZES,
     window: float = 0.05,
+    fast_path: bool = False,
 ) -> ExperimentResult:
     """F2: transmit throughput vs PDU size (simulated + analytic)."""
     config = config if config is not None else aurora_oc3()
     isolated = lab_host(config)
+    sim_config = SimConfig(fast_path=fast_path)
     series = Series(name="tx throughput", x_label="sdu_bytes")
     for size in sizes:
         run_window = _window_for(size, window, config.link)
 
         # Interface capability: free host software.
-        sim = Simulator()
+        sim = Simulator(sim_config)
         scenario = build_point_to_point(sim, isolated)
         GreedySource(sim, scenario.sender, scenario.vc, size).start()
         sim.run(until=run_window)
         interface_mbps = steady_goodput_mbps(scenario.received)
 
         # End to end: real host software in the pipeline.
-        sim2 = Simulator()
+        sim2 = Simulator(sim_config)
         scenario2 = build_point_to_point(sim2, config)
         GreedySource(sim2, scenario2.sender, scenario2.vc, size).start()
         sim2.run(until=run_window)
@@ -267,6 +270,7 @@ def run_f3(
     config: Optional[NicConfig] = None,
     sizes: Sequence[int] = DEFAULT_SIZES,
     window: float = 0.05,
+    fast_path: bool = False,
 ) -> ExperimentResult:
     """F3: receive throughput vs PDU size.
 
@@ -280,7 +284,7 @@ def run_f3(
     series = Series(name="rx throughput", x_label="sdu_bytes")
     for size in sizes:
         run_window = _window_for(size, window, config.link)
-        sim = Simulator()
+        sim = Simulator(SimConfig(fast_path=fast_path))
         nic = HostNetworkInterface(sim, config, name="rxhost")
         received = []
         nic.on_pdu = received.append
@@ -295,7 +299,39 @@ def run_f3(
                     yield sim.timeout(config.link.cell_time)
                     yield nic.rx_fifo.put(cell)
 
-        sim.process(feeder())
+        def feeder_fast():
+            # Burst-mode wire: same slot-spaced arrival chain as the
+            # scalar feeder (cell *i* at ``(i+1) * cell_time``, shifted
+            # only while backpressured), pre-announced in batches.  The
+            # chain is built with the same iterated float adds as the
+            # scalar clock so the arrival values are bit-identical.
+            slot = config.link.cell_time
+            burst_len = max(
+                1, min(sim.config.burst_cells, nic.rx_fifo.depth_cells // 2)
+            )
+            pending: List = []
+            last = 0.0
+            while True:
+                while len(pending) < burst_len:
+                    pending.extend(segmenter.segment(payload))
+                cells = pending[:burst_len]
+                del pending[:burst_len]
+                arrivals = []
+                for _ in range(burst_len):
+                    last = last + slot
+                    arrivals.append(last)
+                accept = nic.rx_fifo.put_burst(CellBurst(cells, arrivals))
+                blocked = not accept.triggered
+                yield accept
+                if blocked:
+                    # Backpressured: the scalar chain restarts from the
+                    # unblock time (arrivals are engine-dominated here).
+                    last = max(sim.now, last)
+                wait = last - sim.now
+                if wait > 0:
+                    yield sim.timeout(wait)
+
+        sim.process(feeder_fast() if fast_path else feeder())
         sim.run(until=run_window)
         series.add_point(
             size,
@@ -589,7 +625,9 @@ def _f6_point(params: Dict[str, Any], streams: RandomStreams) -> Dict[str, float
         # window must span several so bursty completions average out.
         generation = n_vcs * cells_for_sdu(sdu_size) * config.link.cell_time
         run_window = max(window, 8 * generation)
-        sim = Simulator()
+        sim = Simulator(
+            SimConfig(fast_path=bool(params.get("fast_path", False)))
+        )
         nic = HostNetworkInterface(sim, config, name="rxhost")
         received: List = []
         nic.on_pdu = received.append
@@ -617,6 +655,7 @@ def run_f6(
     workers: int = 0,
     store: Optional[ResultStore] = None,
     log: Optional[RunLog] = None,
+    fast_path: bool = False,
 ) -> ExperimentResult:
     """F6: sustainable receive goodput vs interleaved VCs, CAM vs none.
 
@@ -626,10 +665,15 @@ def run_f6(
     rate rather than overload collapse; the host stages are zeroed so
     the receive engine is the stage under test.
     """
+    # ``fast_path`` joins the point content only when set, so scalar
+    # runs keep their historical content hashes (warm caches stay warm).
+    fixed: Dict[str, Any] = {"sdu_size": sdu_size, "window": window}
+    if fast_path:
+        fixed["fast_path"] = True
     spec = SweepSpec.grid(
         "F6",
         axes={"n_vcs": vc_counts},
-        fixed={"sdu_size": sdu_size, "window": window},
+        fixed=fixed,
     )
     sweep_run = run_sweep(spec, _f6_point, workers=workers, store=store, log=log)
     series = sweep_run.series(name="multi-vc rx")
@@ -1262,6 +1306,7 @@ def _r1_point(params: Dict[str, Any], streams: RandomStreams) -> Dict[str, float
         params["sdu_size"],
         params["window"],
         params["seed"],
+        fast_path=bool(params.get("fast_path", False)),
     )
 
 
@@ -1272,6 +1317,7 @@ def _r1_measure(
     sdu_size: int,
     window: float,
     seed: int,
+    fast_path: bool = False,
 ) -> Dict[str, float]:
     """Measure one R1 loss-rate point on *base* (host costs pre-zeroed)."""
     from repro.atm.errors import UniformLoss
@@ -1284,7 +1330,7 @@ def _r1_measure(
     point = {}
     for label, policy in policies:
         cfg = replace(base, frame_discard=policy)
-        sim = Simulator()
+        sim = Simulator(SimConfig(fast_path=fast_path))
         nic = HostNetworkInterface(sim, cfg, name="rxhost")
         received: List = []
         nic.on_pdu = received.append
@@ -1323,6 +1369,7 @@ def run_r1(
     workers: int = 0,
     store: Optional[ResultStore] = None,
     log: Optional[RunLog] = None,
+    fast_path: bool = False,
 ) -> ExperimentResult:
     """R1: goodput vs cell-loss rate with frame discard on vs off.
 
@@ -1337,16 +1384,24 @@ def run_r1(
     if config is not None:
         # A custom config is not a sweepable (JSON) parameter; run the
         # kernel-equivalent loop inline for that research use.
-        return _run_r1_custom(config, loss_rates, n_vcs, sdu_size, window, seed)
+        return _run_r1_custom(
+            config, loss_rates, n_vcs, sdu_size, window, seed,
+            fast_path=fast_path,
+        )
+    fixed: Dict[str, Any] = {
+        "n_vcs": n_vcs,
+        "sdu_size": sdu_size,
+        "window": window,
+        "seed": seed,
+    }
+    if fast_path:
+        # Only part of the point content when set: scalar runs keep
+        # their historical content hashes (warm caches stay warm).
+        fixed["fast_path"] = True
     spec = SweepSpec.grid(
         "R1",
         axes={"loss_rate": loss_rates},
-        fixed={
-            "n_vcs": n_vcs,
-            "sdu_size": sdu_size,
-            "window": window,
-            "seed": seed,
-        },
+        fixed=fixed,
         x_axis="loss_rate",
     )
     sweep_run = run_sweep(spec, _r1_point, workers=workers, store=store, log=log)
@@ -1377,12 +1432,15 @@ def _run_r1_custom(
     sdu_size: int,
     window: float,
     seed: int,
+    fast_path: bool = False,
 ) -> ExperimentResult:
     """The non-sweep R1 path for caller-supplied configurations."""
     base = lab_host(config)
     series = Series(name="goodput under loss", x_label="cell_loss_rate")
     for p in loss_rates:
-        point = _r1_measure(base, p, n_vcs, sdu_size, window, seed)
+        point = _r1_measure(
+            base, p, n_vcs, sdu_size, window, seed, fast_path=fast_path
+        )
         series.add_point(p, **point)
     result = ExperimentResult(
         experiment_id="R1",
@@ -1474,9 +1532,11 @@ def run_o1(duration: Optional[float] = None) -> ExperimentResult:
 # registry
 # ---------------------------------------------------------------------------
 
-# R2 lives with the recovery plane it measures; it imports
-# ExperimentResult lazily, so this import cannot cycle.
+# R2 lives with the recovery plane it measures; P1 with the fast path
+# it benchmarks.  Both import ExperimentResult lazily, so these imports
+# cannot cycle.
 from repro.resilience.experiment import run_r2  # noqa: E402
+from repro.results.perf import run_p1  # noqa: E402
 
 EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
     "T1": run_t1,
@@ -1498,6 +1558,7 @@ EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
     "R1": run_r1,
     "R2": run_r2,
     "O1": run_o1,
+    "P1": run_p1,
 }
 
 

@@ -38,6 +38,9 @@ BENCH_KWARGS: Dict[str, Dict[str, Any]] = {
     "F7": {"clocks_mhz": [10, 20, 25, 33, 50], "window": 0.01},
     "R1": {"loss_rates": [0.0, 0.01, 0.02], "window": 0.005},
     "R2": {"seeds": [1, 2]},
+    # P1 defaults are already bench-sized (it is the perf benchmark);
+    # the empty dict just opts it into the default gate set.
+    "P1": {},
 }
 
 

@@ -18,7 +18,14 @@ broken deterministically by scheduling order, so a simulation is fully
 reproducible given a seed.
 """
 
-from repro.sim.core import Event, SimulationError, Simulator, Timeout
+from repro.sim.core import (
+    CalendarQueue,
+    Event,
+    SimConfig,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
 from repro.sim.process import AllOf, AnyOf, Interrupt, Process
 from repro.sim.monitor import (
     Counter,
@@ -34,8 +41,10 @@ from repro.sim.resources import Resource, Store
 __all__ = [
     "AllOf",
     "AnyOf",
+    "CalendarQueue",
     "Counter",
     "Event",
+    "SimConfig",
     "Histogram",
     "Interrupt",
     "Process",

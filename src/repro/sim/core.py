@@ -1,9 +1,19 @@
 """Event loop, clock, and the :class:`Event` primitive.
 
-The kernel follows the classic calendar-queue design: a binary heap of
-``(time, sequence, event)`` entries.  An :class:`Event` is the unit of
-synchronisation -- processes (see :mod:`repro.sim.process`) suspend on
-events and are resumed by the event's callbacks when it triggers.
+The kernel keeps a time-ordered queue of ``(time, priority, sequence,
+event)`` entries.  An :class:`Event` is the unit of synchronisation --
+processes (see :mod:`repro.sim.process`) suspend on events and are
+resumed by the event's callbacks when it triggers.
+
+Two interchangeable scheduler backends maintain the queue (selected by
+:class:`SimConfig.scheduler`): the default binary heap, and a
+:class:`CalendarQueue` timer wheel tuned for the dense same-slot event
+pattern the cell pipelines generate.  Both pop entries in the exact
+same total order, so a run is bit-for-bit identical under either.
+
+:class:`SimConfig` also carries the ``fast_path`` switch that lets the
+NIC/link layers move :class:`repro.atm.burst.CellBurst` batches instead
+of per-cell events (see ``docs/PERFORMANCE.md``).
 
 Only the simulator advances time.  All model code runs inside event
 callbacks, so there is no concurrency and no locking anywhere.
@@ -12,6 +22,7 @@ callbacks, so there is no concurrency and no locking anywhere.
 from __future__ import annotations
 
 import heapq
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable, Optional
 
 if TYPE_CHECKING:  # import cycle: process.py imports this module
@@ -40,10 +51,16 @@ class Event:
 
     ``trigger(value)`` succeeds the event; ``fail(exc)`` makes every waiter
     re-raise ``exc``.  Both may be called at most once in total.
+
+    ``cancel()`` withdraws an event that has not yet been processed: a
+    queued occurrence (e.g. a :class:`Timeout`) is skipped when it
+    reaches the front of the queue -- the clock never advances to it
+    and its callbacks never run -- as if it had never been scheduled.
     """
 
     __slots__ = ("sim", "callbacks", "_value", "_exception", "_state")
 
+    _CANCELLED = -1
     _PENDING = 0
     _TRIGGERED = 1
     _PROCESSED = 2
@@ -60,7 +77,12 @@ class Event:
     @property
     def triggered(self) -> bool:
         """True once the outcome (value or exception) is decided."""
-        return self._state != Event._PENDING
+        return self._state > Event._PENDING
+
+    @property
+    def cancelled(self) -> bool:
+        """True once the event has been withdrawn via :meth:`cancel`."""
+        return self._state == Event._CANCELLED
 
     @property
     def processed(self) -> bool:
@@ -87,10 +109,31 @@ class Event:
 
     # -- triggering ------------------------------------------------------
 
+    def cancel(self) -> "Event":
+        """Withdraw the event; it will never fire its callbacks.
+
+        Legal until the event is processed (so both never-triggered
+        events and queued-but-unprocessed ones can be withdrawn);
+        cancelling twice is a no-op.  A queued entry is purged lazily:
+        it stays in the scheduler queue until popped, then is skipped
+        without advancing the clock or the processed-event count.
+        Anything still waiting on a cancelled event waits forever --
+        withdrawing an event other processes depend on is the caller's
+        responsibility.
+        """
+        if self._state == Event._PROCESSED:
+            raise SimulationError("cannot cancel a processed event")
+        self._state = Event._CANCELLED
+        return self
+
     def trigger(self, value: Any = None, delay: float = 0.0) -> "Event":
         """Succeed the event with *value* after *delay* seconds."""
-        if self.triggered:
-            raise SimulationError("event triggered twice")
+        if self._state != Event._PENDING:
+            raise SimulationError(
+                "cannot trigger a cancelled event"
+                if self._state == Event._CANCELLED
+                else "event triggered twice"
+            )
         self._value = value
         self._state = Event._TRIGGERED
         self.sim._schedule(delay, self)
@@ -98,8 +141,12 @@ class Event:
 
     def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
         """Fail the event; waiters re-raise *exception*."""
-        if self.triggered:
-            raise SimulationError("event triggered twice")
+        if self._state != Event._PENDING:
+            raise SimulationError(
+                "cannot fail a cancelled event"
+                if self._state == Event._CANCELLED
+                else "event triggered twice"
+            )
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
         self._exception = exception
@@ -127,7 +174,12 @@ class Event:
             fn(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = ("pending", "triggered", "processed")[self._state]
+        state = {
+            Event._CANCELLED: "cancelled",
+            Event._PENDING: "pending",
+            Event._TRIGGERED: "triggered",
+            Event._PROCESSED: "processed",
+        }[self._state]
         return f"<{type(self).__name__} {state} at t={self.sim.now:.9f}>"
 
 
@@ -146,6 +198,132 @@ class Timeout(Event):
         sim._schedule(delay, self)
 
 
+@dataclass(frozen=True)
+class SimConfig:
+    """Kernel configuration: scheduler backend and fast-path switches.
+
+    ``fast_path`` does not change the kernel itself -- it is the flag the
+    NIC, link, and workload layers consult to decide whether to move
+    cells one event at a time (the reference path) or batched into
+    :class:`repro.atm.burst.CellBurst` objects with identical per-cell
+    accounting.  ``scheduler`` selects the queue backend: ``"heap"``
+    (binary heap, the default) or ``"calendar"`` (bucketed timer wheel).
+    Both produce the exact same event order.
+    """
+
+    fast_path: bool = False
+    #: Preferred cells per burst on the fast path (producers may emit
+    #: fewer, e.g. when capped by half the downstream FIFO depth).
+    burst_cells: int = 32
+    scheduler: str = "heap"
+    #: Calendar-queue bucket width in seconds.  The default is a handful
+    #: of OC-3 cell slots, matching the dense near-future event pattern.
+    calendar_bucket_width: float = 16e-6
+    #: Number of buckets in the calendar window; events beyond
+    #: ``buckets * width`` from the window base overflow into a heap.
+    calendar_buckets: int = 512
+
+    def __post_init__(self) -> None:
+        if self.scheduler not in ("heap", "calendar"):
+            raise ValueError(
+                f"unknown scheduler {self.scheduler!r}; "
+                "expected 'heap' or 'calendar'"
+            )
+        if self.burst_cells < 1:
+            raise ValueError(f"burst_cells must be >= 1, got {self.burst_cells}")
+        if self.calendar_bucket_width <= 0:
+            raise ValueError("calendar_bucket_width must be positive")
+        if self.calendar_buckets < 1:
+            raise ValueError("calendar_buckets must be >= 1")
+
+
+class CalendarQueue:
+    """A bucketed timer wheel preserving the kernel's exact total order.
+
+    Entries within ``n_buckets * bucket_width`` of the window base land
+    in fixed-width buckets (each a small heap); later entries go to an
+    overflow heap.  Because bucket *b* holds only times in
+    ``[b*width, (b+1)*width)``, the global minimum is always the top of
+    the first non-empty bucket, and same-time entries share a bucket --
+    so pops come out in the same ``(time, priority, sequence)`` order a
+    single binary heap would produce, just with much smaller heaps.
+
+    When the whole window drains, the wheel rebases onto the earliest
+    overflow entry and refills the new window from the overflow heap.
+    """
+
+    __slots__ = ("_width", "_n", "_buckets", "_base", "_overflow", "_len")
+
+    def __init__(self, bucket_width: float, n_buckets: int) -> None:
+        if bucket_width <= 0:
+            raise ValueError("bucket_width must be positive")
+        if n_buckets < 1:
+            raise ValueError("n_buckets must be >= 1")
+        self._width = bucket_width
+        self._n = n_buckets
+        self._buckets: list[list[tuple[float, int, int, Event]]] = [
+            [] for _ in range(n_buckets)
+        ]
+        #: Absolute index of the window's first bucket.  Invariant: every
+        #: queued entry has time >= _base * _width (pushes below the base
+        #: -- possible only through float fuzz -- are clamped into it).
+        self._base = 0
+        self._overflow: list[tuple[float, int, int, Event]] = []
+        self._len = 0
+
+    def __len__(self) -> int:
+        return self._len
+
+    def push(self, entry: tuple[float, int, int, Event]) -> None:
+        index = int(entry[0] / self._width)
+        if index < self._base:
+            index = self._base
+        if index >= self._base + self._n:
+            heapq.heappush(self._overflow, entry)
+        else:
+            heapq.heappush(self._buckets[index % self._n], entry)
+        self._len += 1
+
+    def peek_time(self) -> float:
+        """Time of the earliest entry, or ``inf`` when empty.
+
+        Advances the base cursor past empty buckets as a side effect, so
+        a peek immediately followed by a pop is O(1) amortised.
+        """
+        if self._len == 0:
+            return float("inf")
+        for _ in range(self._n):
+            bucket = self._buckets[self._base % self._n]
+            if bucket:
+                return bucket[0][0]
+            self._base += 1
+        return self._overflow[0][0]
+
+    def pop(self) -> tuple[float, int, int, Event]:
+        """Remove and return the globally earliest entry."""
+        if self._len == 0:
+            raise IndexError("pop from empty CalendarQueue")
+        n = self._n
+        for _ in range(n):
+            bucket = self._buckets[self._base % n]
+            if bucket:
+                self._len -= 1
+                return heapq.heappop(bucket)
+            self._base += 1
+        # The whole window is empty: rebase onto the earliest overflow
+        # entry and pull everything inside the new window back in.
+        self._base = int(self._overflow[0][0] / self._width)
+        window_end = (self._base + n) * self._width
+        while self._overflow and self._overflow[0][0] < window_end:
+            entry = heapq.heappop(self._overflow)
+            index = int(entry[0] / self._width)
+            if index < self._base:
+                index = self._base
+            heapq.heappush(self._buckets[index % n], entry)
+        self._len -= 1
+        return heapq.heappop(self._buckets[self._base % n])
+
+
 class Simulator:
     """The event loop: a clock plus a time-ordered queue of events.
 
@@ -160,9 +338,17 @@ class Simulator:
     deterministic.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, config: Optional[SimConfig] = None) -> None:
+        self.config = config if config is not None else SimConfig()
         self._now: float = 0.0
         self._queue: list[tuple[float, int, int, Event]] = []
+        self._calendar: Optional[CalendarQueue] = (
+            CalendarQueue(
+                self.config.calendar_bucket_width, self.config.calendar_buckets
+            )
+            if self.config.scheduler == "calendar"
+            else None
+        )
         self._sequence = 0
         self._running = False
         #: Lifetime count of events processed -- the kernel's own
@@ -176,6 +362,11 @@ class Simulator:
     def now(self) -> float:
         """Current simulation time in seconds."""
         return self._now
+
+    @property
+    def fast_path(self) -> bool:
+        """True when model layers should batch cells into bursts."""
+        return self.config.fast_path
 
     # -- event construction helpers --------------------------------------
 
@@ -198,22 +389,49 @@ class Simulator:
     def _schedule(self, delay: float, event: Event, priority: int = NORMAL) -> None:
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self._schedule_at(self._now + delay, event, priority)
+
+    def _schedule_at(self, when: float, event: Event, priority: int = NORMAL) -> None:
+        """Schedule *event* at the absolute time *when*.
+
+        The fast path (docs/PERFORMANCE.md) schedules at precomputed
+        absolute times rather than ``now + (when - now)`` deltas: the
+        round trip through a delta can be off by one ulp, which would
+        break bit-exact equivalence with the scalar reference.
+        """
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past (at={when}, now={self._now})"
+            )
         self._sequence += 1
-        heapq.heappush(
-            self._queue, (self._now + delay, priority, self._sequence, event)
-        )
+        entry = (when, priority, self._sequence, event)
+        if self._calendar is not None:
+            self._calendar.push(entry)
+        else:
+            heapq.heappush(self._queue, entry)
 
     # -- execution -------------------------------------------------------
 
     def step(self) -> None:
-        """Process exactly one event (advancing the clock to it)."""
-        when, _priority, _seq, event = heapq.heappop(self._queue)
+        """Process one queue entry (advancing the clock to it).
+
+        A cancelled entry is discarded instead: the clock stays put and
+        ``events_processed`` does not move, as if it was never queued.
+        """
+        if self._calendar is not None:
+            when, _priority, _seq, event = self._calendar.pop()
+        else:
+            when, _priority, _seq, event = heapq.heappop(self._queue)
+        if event._state == Event._CANCELLED:
+            return
         self._now = when
         self.events_processed += 1
         event._process()
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
+        if self._calendar is not None:
+            return self._calendar.peek_time()
         return self._queue[0][0] if self._queue else float("inf")
 
     def run(self, until: Optional[float] = None) -> None:
@@ -226,17 +444,26 @@ class Simulator:
         if self._running:
             raise SimulationError("run() called re-entrantly")
         self._running = True
+        calendar = self._calendar
         try:
             if until is None:
-                while self._queue:
-                    self.step()
+                if calendar is not None:
+                    while len(calendar):
+                        self.step()
+                else:
+                    while self._queue:
+                        self.step()
             else:
                 if until < self._now:
                     raise SimulationError(
                         f"run(until={until}) is in the past (now={self._now})"
                     )
-                while self._queue and self._queue[0][0] <= until:
-                    self.step()
+                if calendar is not None:
+                    while len(calendar) and calendar.peek_time() <= until:
+                        self.step()
+                else:
+                    while self._queue and self._queue[0][0] <= until:
+                        self.step()
                 self._now = until
         finally:
             self._running = False
@@ -247,13 +474,14 @@ class Simulator:
         *max_events* is a runaway guard for tests -- exceeding it raises
         :class:`SimulationError` rather than hanging the test suite.
         """
-        processed = 0
-        while self._queue:
+        start = self.events_processed
+        iterations = 0
+        while self.pending_events() > 0:
             self.step()
-            processed += 1
-            if processed > max_events:
+            iterations += 1
+            if iterations > max_events:
                 raise SimulationError("simulation exceeded max_events guard")
-        return processed
+        return self.events_processed - start
 
     # -- misc -------------------------------------------------------------
 
@@ -274,8 +502,41 @@ class Simulator:
         self._schedule(delay, ev)
         return ev
 
+    def wake_at(self, when: float, value: Any = None) -> Event:
+        """An event firing at the absolute time *when* (fast-path timeout).
+
+        Unlike ``timeout(when - now)`` this cannot be off by one ulp;
+        see :meth:`_schedule_at`.
+        """
+        ev = Event(self)
+        ev._state = Event._TRIGGERED
+        ev._value = value
+        self._schedule_at(when, ev)
+        return ev
+
+    def schedule_call_at(
+        self, when: float, fn: Callable[..., None], *args: Any
+    ) -> Event:
+        """Like :meth:`schedule_call` at an absolute time (fast path)."""
+        ev = Event(self)
+
+        def runner(event: Event) -> None:
+            fn(*args)
+
+        ev.add_callback(runner)
+        ev._state = Event._TRIGGERED
+        self._schedule_at(when, ev)
+        return ev
+
     def pending_events(self) -> int:
-        """Number of events still queued (triggered but unprocessed)."""
+        """Number of entries still queued (triggered but unprocessed).
+
+        Cancelled entries are purged lazily, so they are counted here
+        until they reach the front of the queue (:meth:`peek` may
+        likewise report a cancelled entry's time).
+        """
+        if self._calendar is not None:
+            return len(self._calendar)
         return len(self._queue)
 
 

@@ -108,3 +108,100 @@ def test_shim_and_unified_entry_point_agree():
     assert shim.returncode == 0, shim.stdout + shim.stderr
     assert unified.returncode == 0, unified.stdout + unified.stderr
     assert "docs check OK" in shim.stdout
+
+
+class TestDoc103CliDrift:
+    """DOC103: documented CLI invocations must parse against the registry."""
+
+    @staticmethod
+    def _drift(tmp_path, block):
+        from repro.devtools.docs import cli_drift
+
+        repo = make_repo(tmp_path)
+        (repo / "docs").mkdir()
+        (repo / "docs" / "CLI.md").write_text("# CLI\n\n" + block)
+        return cli_drift(repo)
+
+    def test_valid_invocations_pass(self, tmp_path):
+        findings = self._drift(
+            tmp_path,
+            "```bash\n"
+            "PYTHONPATH=src python -m repro --list\n"
+            "python -m repro T1 F2 --workers 4   # comment is cut\n"
+            "python -m repro bench --check\n"
+            "python -m repro trace f2 --out trace.json | head\n"
+            "python -m repro lint --docs\n"
+            "```\n",
+        )
+        assert findings == []
+
+    def test_unknown_experiment_id_is_doc103(self, tmp_path):
+        findings = self._drift(
+            tmp_path, "```console\npython -m repro ZZ9\n```\n"
+        )
+        assert [f.rule for f in findings] == ["DOC103"]
+        assert "ZZ9" in findings[0].message
+
+    def test_unknown_flag_and_scenario_are_doc103(self, tmp_path):
+        findings = self._drift(
+            tmp_path,
+            "```bash\n"
+            "python -m repro bench --frobnicate\n"
+            "python -m repro trace no-such-scenario\n"
+            "```\n",
+        )
+        assert [f.rule for f in findings] == ["DOC103", "DOC103"]
+
+    def test_text_fences_and_prose_are_exempt(self, tmp_path):
+        findings = self._drift(
+            tmp_path,
+            "Prose mentioning python -m repro NOT-CHECKED is fine.\n"
+            "\n"
+            "```text\n"
+            "python -m repro trace <experiment> [--out PATH]\n"
+            "```\n",
+        )
+        assert findings == []
+
+    def test_shipped_docs_have_checkable_invocations(self):
+        # The rule only means something if the real docs exercise it.
+        from repro.devtools.docs import (
+            _REPRO_CMD,
+            doc_files,
+            iter_command_lines,
+        )
+
+        checked = 0
+        for doc in doc_files(REPO):
+            for _lineno, line in iter_command_lines(
+                doc.read_text(encoding="utf-8")
+            ):
+                if _REPRO_CMD.search(line):
+                    checked += 1
+        assert checked >= 10
+
+
+class TestDocEntryPointDrift:
+    """PR 3 made tools/check_docs.py a shim; docs must say so."""
+
+    def test_docs_name_the_unified_entry_point(self):
+        docs = [REPO / "README.md", REPO / "docs" / "STATIC_ANALYSIS.md"]
+        for doc in docs:
+            assert "repro lint --docs" in doc.read_text(encoding="utf-8"), (
+                f"{doc.name} no longer names the supported docs entry point"
+            )
+
+    def test_shim_is_only_ever_described_as_a_shim(self):
+        from repro.devtools.docs import doc_files
+
+        for doc in doc_files(REPO) + [REPO / "DESIGN.md"]:
+            if not doc.exists() or doc.name in ("CHANGES.md", "ISSUE.md"):
+                continue  # the changelog records history, not guidance
+            for lineno, line in enumerate(
+                doc.read_text(encoding="utf-8").splitlines(), start=1
+            ):
+                if "tools/check_docs.py" in line:
+                    assert "shim" in line, (
+                        f"{doc.name}:{lineno} presents tools/check_docs.py "
+                        "as an entry point; name 'repro lint --docs' instead"
+                    )

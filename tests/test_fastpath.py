@@ -1,0 +1,129 @@
+"""Fast path == reference path: the byte-equivalence contract.
+
+``SimConfig(fast_path=True)`` moves runs of back-to-back cells as one
+burst event and collapses uncontended bus/DMA walks to arithmetic, but
+charges the same per-cell cycles via the same float expressions -- so
+every experiment must report *byte-identical* numbers on either path
+(docs/PERFORMANCE.md spells out the guarantee and its exclusions).
+These tests pin that contract on reduced F2/F3/F6/R1 runs, on a
+drained run's full metrics registry, and on profiler attribution.
+"""
+
+from repro.obs import CycleProfiler, profile_interface
+from repro.results.experiments import run_f2, run_f3, run_f6, run_r1
+from repro.results.perf import canonical_result_json, drained_rx_run
+
+
+def both_paths(runner):
+    scalar = runner(fast_path=False)
+    fast = runner(fast_path=True)
+    return canonical_result_json(scalar), canonical_result_json(fast)
+
+
+class TestExperimentEquivalence:
+    def test_f2_tx_rx_pipeline(self):
+        scalar, fast = both_paths(
+            lambda fast_path: run_f2(
+                sizes=(1024, 9180), window=0.01, fast_path=fast_path
+            )
+        )
+        assert scalar == fast
+
+    def test_f3_rx_burst_feeder(self):
+        scalar, fast = both_paths(
+            lambda fast_path: run_f3(
+                sizes=(1500,), window=0.01, fast_path=fast_path
+            )
+        )
+        assert scalar == fast
+
+    def test_f6_interleaved_vcs(self):
+        scalar, fast = both_paths(
+            lambda fast_path: run_f6(
+                vc_counts=(4,), sdu_size=1500, window=0.005,
+                fast_path=fast_path,
+            )
+        )
+        assert scalar == fast
+
+    def test_r1_loss_and_frame_discard(self):
+        scalar, fast = both_paths(
+            lambda fast_path: run_r1(
+                loss_rates=(0.0, 0.01), window=0.005, fast_path=fast_path
+            )
+        )
+        assert scalar == fast
+
+
+class TestRegistryEquivalence:
+    def test_drained_run_metrics_document_is_byte_identical(self):
+        # Every registered counter and gauge -- engine counts, FIFO
+        # state, buffer fill, utilisation, DMA backlog -- must agree
+        # once both runs have drained (mid-flight cutoffs may not:
+        # the fast engine counts a popped burst's cells at pop time).
+        doc_scalar, events_scalar, pdus_scalar = drained_rx_run(
+            False, sdu_size=1500, n_pdus=20
+        )
+        doc_fast, events_fast, pdus_fast = drained_rx_run(
+            True, sdu_size=1500, n_pdus=20
+        )
+        assert pdus_scalar == pdus_fast == 20
+        assert doc_scalar == doc_fast
+
+    def test_fast_path_processes_far_fewer_events(self):
+        _, events_scalar, _ = drained_rx_run(False, sdu_size=1500, n_pdus=20)
+        _, events_fast, _ = drained_rx_run(True, sdu_size=1500, n_pdus=20)
+        assert events_fast < events_scalar / 3
+
+
+class TestProfilerAttribution:
+    def test_burst_run_cycles_fully_attributed(self):
+        # The profiler's ledger must account for every cycle the engine
+        # clock charged, burst replay included: a nonzero residue means
+        # the fast path charged cycles outside the named operations.
+        from repro.nic.config import aurora_oc3
+        from repro.nic.nic import HostNetworkInterface
+        from repro.results.experiments import lab_host
+        from repro.sim.core import SimConfig, Simulator
+
+        config = lab_host(aurora_oc3())
+        sim = Simulator(SimConfig(fast_path=True))
+        nic = HostNetworkInterface(sim, config, name="rxhost")
+        profiler = profile_interface(nic)
+        assert isinstance(profiler, CycleProfiler)
+
+        from repro.aal.aal5 import Aal5Segmenter
+        from repro.atm.addressing import VcAddress
+        from repro.atm.burst import CellBurst
+        from repro.workloads.generators import make_payload
+
+        vc = nic.open_vc(address=VcAddress(0, 100))
+        nic.start()
+        segmenter = Aal5Segmenter(vc.address)
+        cells = []
+        for _ in range(8):
+            cells.extend(segmenter.segment(make_payload(1500)))
+        slot = config.link.cell_time
+
+        def feeder():
+            last = 0.0
+            index = 0
+            while index < len(cells):
+                chunk = cells[index:index + 32]
+                index += len(chunk)
+                arrivals = []
+                for _ in chunk:
+                    last = last + slot
+                    arrivals.append(last)
+                accept = nic.rx_fifo.put_burst(CellBurst(chunk, arrivals))
+                blocked = not accept.triggered
+                yield accept
+                if blocked:
+                    last = max(sim.now, last)
+                wait = last - sim.now
+                if wait > 0:
+                    yield sim.timeout(wait)
+
+        sim.process(feeder())
+        sim.run(until=3.0 * len(cells) * slot)
+        assert profiler.reconcile(nic.rx_clock, "rx") == 0.0

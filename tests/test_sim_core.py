@@ -169,3 +169,105 @@ class TestDeterminism:
             return log
 
         assert trace() == trace()
+
+
+class TestCalendarScheduler:
+    """The calendar backend must reproduce the heap's exact total order."""
+
+    @staticmethod
+    def _pop_order(scheduler, times, **knobs):
+        from repro.sim.core import SimConfig
+
+        sim = Simulator(SimConfig(scheduler=scheduler, **knobs))
+        order = []
+        for label, t in enumerate(times):
+            sim.schedule_call(t, order.append, (t, label))
+        sim.run()
+        return order
+
+    def test_same_timestamp_fifo_matches_heap(self):
+        times = [1.0, 1.0, 0.5, 1.0, 0.5, 2.0, 1.0]
+        assert self._pop_order("calendar", times) == self._pop_order(
+            "heap", times
+        )
+
+    def test_far_future_events_overflow_and_rebase(self):
+        # Far beyond the wheel window (width * buckets), through several
+        # rebase generations, mixed with near-term events.
+        times = [1e-6, 5.0, 1e-6, 12_000.0, 3.0, 5.0, 0.0, 7e5, 12_000.0]
+        assert self._pop_order(
+            "calendar", times, calendar_bucket_width=1e-6, calendar_buckets=4
+        ) == self._pop_order("heap", times)
+
+    def test_degenerate_single_bucket_wheel(self):
+        times = [0.3, 0.1, 0.2, 0.1, 0.4]
+        assert self._pop_order(
+            "calendar", times, calendar_bucket_width=1e-9, calendar_buckets=1
+        ) == self._pop_order("heap", times)
+
+    def test_run_until_leaves_future_events_queued(self):
+        from repro.sim.core import SimConfig
+
+        sim = Simulator(SimConfig(scheduler="calendar"))
+        hits = []
+        sim.schedule_call(1.0, hits.append, "near")
+        sim.schedule_call(100.0, hits.append, "far")
+        sim.run(until=2.0)
+        assert hits == ["near"]
+        assert sim.now == 2.0
+        assert sim.pending_events() == 1
+
+
+class TestCancellation:
+    def test_cancelled_timeout_never_fires(self, sim):
+        hits = []
+        doomed = sim.timeout(1.0)
+        doomed.add_callback(lambda ev: hits.append("doomed"))
+        sim.schedule_call(2.0, hits.append, "kept")
+        doomed.cancel()
+        sim.run()
+        assert hits == ["kept"]
+        assert doomed.cancelled and not doomed.processed
+
+    def test_cancelled_entry_does_not_advance_clock_or_count(self, sim):
+        sim.timeout(5.0).cancel()
+        sim.schedule_call(1.0, lambda: None)
+        assert sim.run_until_idle() == 1
+        assert sim.now == 1.0
+        assert sim.events_processed == 1
+
+    def test_cancel_is_idempotent_but_processed_is_final(self, sim):
+        ev = sim.timeout(1.0)
+        ev.cancel()
+        ev.cancel()  # no-op
+        done = sim.timeout(1.0)
+        sim.run()
+        with pytest.raises(SimulationError):
+            done.cancel()
+
+    def test_cancelled_event_rejects_trigger_and_fail(self, sim):
+        from repro.sim.core import Event
+
+        ev = Event(sim)
+        ev.cancel()
+        assert not ev.triggered
+        with pytest.raises(SimulationError):
+            ev.trigger(1)
+        with pytest.raises(SimulationError):
+            ev.fail(RuntimeError("x"))
+
+    def test_cancellation_identical_across_backends(self):
+        from repro.sim.core import SimConfig
+
+        def run(scheduler):
+            sim = Simulator(SimConfig(scheduler=scheduler))
+            log = []
+            victims = [sim.timeout(t) for t in (0.2, 0.4, 0.4, 0.9)]
+            for t in (0.1, 0.4, 0.5, 0.9):
+                sim.schedule_call(t, log.append, t)
+            for victim in victims:
+                victim.cancel()
+            sim.run()
+            return log, sim.now, sim.events_processed
+
+        assert run("heap") == run("calendar")
