@@ -28,6 +28,20 @@ from repro.sim.monitor import Counter
 
 CellSink = Union[Callable[[AtmCell], None], "SupportsReceiveCell"]
 
+#: simlint SL7 dual-path registry (docs/STATIC_ANALYSIS.md): burst
+#: transmission must book the same per-cell loss and delivery
+#: accounting as scalar sends.
+PATH_PAIRS = [
+    {
+        "scalar": "PhysicalLink.send",
+        "burst": "PhysicalLink.send_burst",
+        "why": (
+            "burst sends serialize, lose and deliver cells with the "
+            "scalar path's exact accounting, batched per wire burst"
+        ),
+    },
+]
+
 
 class SupportsReceiveCell:
     """Structural interface: anything with ``receive_cell(cell)``."""

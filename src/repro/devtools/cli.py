@@ -8,12 +8,13 @@ also uploading the ``--out`` JSON report as an artifact.
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
 from pathlib import Path
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Set
 
 from repro.devtools.docs import check_docs, default_repo_root
-from repro.devtools.findings import render_json, render_text
+from repro.devtools.findings import render_json, render_sarif, render_text
 from repro.devtools.linter import lint_paths
 from repro.devtools.rules import RULE_REGISTRY
 
@@ -30,7 +31,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-atm lint",
         description=(
             "simlint: enforce the simulator's determinism, cost-model, "
-            "trace-taxonomy, sim-time, and hook-shape invariants"
+            "trace-taxonomy, sim-time, hook-shape, and dual-path "
+            "invariants"
         ),
     )
     parser.add_argument(
@@ -41,7 +43,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format on stdout (default: text)",
     )
@@ -54,6 +56,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--rules",
         metavar="IDS",
         help="comma-separated rule ids or family prefixes (e.g. SL1,SL302)",
+    )
+    parser.add_argument(
+        "--changed",
+        action="store_true",
+        help=(
+            "report findings only for files modified per "
+            "'git diff --name-only HEAD' (the whole tree is still "
+            "analysed so interprocedural rules see the full call "
+            "graph); outside a git checkout, lints the full tree"
+        ),
     )
     parser.add_argument(
         "--docs",
@@ -82,6 +94,45 @@ def _list_rules() -> int:
     return 0
 
 
+def _changed_files(anchor: Path) -> Optional[Set[Path]]:
+    """Absolute paths ``git diff --name-only HEAD`` reports, or ``None``.
+
+    ``None`` means "not a usable git checkout" and the caller falls
+    back to full-tree reporting.
+    """
+    probe = anchor if anchor.is_dir() else anchor.parent
+    try:
+        toplevel = subprocess.run(
+            ["git", "-C", str(probe), "rev-parse", "--show-toplevel"],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        names = subprocess.run(
+            ["git", "-C", toplevel, "diff", "--name-only", "HEAD"],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    return {
+        (Path(toplevel) / name).resolve()
+        for name in names.splitlines()
+        if name.strip()
+    }
+
+
+def _sarif_path_prefix(lint_root: str) -> str:
+    """The lint root relative to the repo root, for SARIF locations."""
+    try:
+        return (
+            Path(lint_root).resolve().relative_to(default_repo_root().resolve())
+        ).as_posix()
+    except ValueError:
+        return ""
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.list_rules:
@@ -89,7 +140,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     paths = args.paths or [str(default_lint_root())]
     rules = args.rules.split(",") if args.rules else None
-    result = lint_paths(paths, rules=rules)
+    restrict_to: Optional[Set[Path]] = None
+    if args.changed:
+        restrict_to = _changed_files(Path(paths[0]))
+        if restrict_to is None:
+            print(
+                "simlint: --changed outside a git checkout; "
+                "linting the full tree",
+                file=sys.stderr,
+            )
+    result = lint_paths(paths, rules=rules, restrict_to=restrict_to)
 
     findings = list(result.findings)
     if args.docs:
@@ -104,6 +164,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
     if args.format == "json":
         print(render_json(findings, root=result.root, extra=extra))
+    elif args.format == "sarif":
+        print(
+            render_sarif(
+                findings,
+                root=result.root,
+                path_prefix=_sarif_path_prefix(result.root),
+                rule_titles={
+                    rule.id: rule.title for rule in RULE_REGISTRY.values()
+                },
+            )
+        )
     else:
         print(render_text(findings))
         if not findings:

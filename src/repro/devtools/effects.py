@@ -1,0 +1,325 @@
+"""Per-function effect summaries over the project call graph.
+
+The SL7 dual-path rules compare what a scalar handler and its burst
+counterpart *do to the simulated world*.  This module computes, for
+every function in the linted tree, the externally observable effects
+reachable from it:
+
+- ``stat:<Class>.<attr path>.<method>`` -- a stats object mutated via
+  one of the known mutator methods (``increment``/``add``/``record``/
+  ``record_read``/``record_write``/``account``);
+- ``event:<name>`` -- a trace event emitted on a ``trace``/``recorder``
+  receiver (dynamic names collapse to ``event:<dynamic>``);
+- ``reason:<value>`` -- the ``reason=`` keyword of a drop emission;
+- cost-model fields charged at an engine-clock site
+  (``work``/``charge``/``charge_at``), both fields referenced directly
+  (``costs.fifo_pop``) and fields reached *symbolically* through
+  cost-model helper methods (``costs.cell_cycles(...)`` expands to the
+  fields that method transitively sums in ``nic/costs.py``).
+
+Direct effects are extracted per function; a transitive closure over
+:class:`repro.devtools.callgraph.ProjectIndex` edges folds in callee
+effects.  Effects are *unions* (there is no kill set), so the closure
+of a function is exactly the union of direct effects over its
+reachable set -- no fixpoint needed.
+
+Clock and obs-hook receivers are opaque in the call graph (their
+internals would double-count: ``work`` replays a pending stall that
+the fast path books through ``take_stall``); their semantics live here
+instead, at the call site.  Receiver paths with a ``_private``
+component are not treated as stats -- sets like ``Resource._holders``
+use ``add`` too.
+
+The same walk records every charge site as a :class:`ChargeRecord`,
+which the SL204 budget-table cross-check consumes.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.devtools.callgraph import (
+    CallTarget,
+    FunctionInfo,
+    ProjectIndex,
+    call_target,
+    local_alias_env,
+    self_attribute_path,
+)
+from repro.devtools.model import RepoModel
+from repro.devtools.rules import string_arg
+
+#: Engine-clock methods that charge cycles.
+CHARGE_METHODS = frozenset({"work", "charge", "charge_at"})
+
+#: Methods that mutate a stats/counter object in place.
+MUTATOR_METHODS = frozenset(
+    {"increment", "add", "account", "record", "record_read", "record_write"}
+)
+
+#: Receiver names that carry a TraceRecorder at emission sites.
+EMIT_RECEIVERS = frozenset({"trace", "recorder"})
+
+#: Receiver terminal names that carry the engine clock.
+CLOCK_RECEIVERS = frozenset({"clock"})
+
+#: Placeholder for event names / reasons that are not string literals.
+DYNAMIC = "<dynamic>"
+
+
+@dataclass
+class EffectSummary:
+    """The observable-effect sets of one function (or a closure)."""
+
+    stats: Set[str] = field(default_factory=set)
+    events: Set[str] = field(default_factory=set)
+    reasons: Set[str] = field(default_factory=set)
+    costs: Set[str] = field(default_factory=set)
+
+    def update(self, other: "EffectSummary") -> None:
+        self.stats |= other.stats
+        self.events |= other.events
+        self.reasons |= other.reasons
+        self.costs |= other.costs
+
+
+@dataclass
+class CostModelInfo:
+    """One budget-table class discovered in a ``nic/costs.py`` module."""
+
+    name: str
+    module: str
+    line: int
+    breakdown_line: int
+    fields: Set[str] = field(default_factory=set)
+    #: method name -> cost fields it transitively sums.
+    method_fields: Dict[str, Set[str]] = field(default_factory=dict)
+    breakdown_keys: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class ChargeRecord:
+    """One engine-clock charge site, for the SL204 cross-check."""
+
+    function: str  #: Function key the site lives in.
+    module: str
+    line: int
+    #: ``(field, owning model name or None when the receiver is untyped)``
+    direct: Tuple[Tuple[str, Optional[str]], ...] = ()
+    #: model name -> fields reached through symbolic method expansion.
+    expanded: Dict[str, Set[str]] = field(default_factory=dict)
+
+
+def _is_cost_module(module: str) -> bool:
+    return module == "nic/costs.py" or module.endswith("/nic/costs.py")
+
+
+def _collect_cost_models(index: ProjectIndex) -> Dict[str, CostModelInfo]:
+    models: Dict[str, CostModelInfo] = {}
+    for key, cls in sorted(index.classes.items()):
+        if not _is_cost_module(cls.module) or "breakdown" not in cls.methods:
+            continue
+        fields: Set[str] = set()
+        for item in cls.node.body:
+            if (
+                isinstance(item, ast.AnnAssign)
+                and isinstance(item.target, ast.Name)
+                and not item.target.id.startswith("_")
+            ):
+                fields.add(item.target.id)
+        if not fields:
+            continue
+        info = CostModelInfo(
+            name=cls.name,
+            module=cls.module,
+            line=cls.node.lineno,
+            breakdown_line=cls.methods["breakdown"].line,
+            fields=fields,
+        )
+        _fill_method_fields(cls_methods=cls.methods, info=info)
+        _fill_breakdown_keys(cls.methods["breakdown"].node, info)
+        models[cls.name] = info
+    return models
+
+
+def _fill_method_fields(
+    cls_methods: Mapping[str, FunctionInfo], info: CostModelInfo
+) -> None:
+    direct: Dict[str, Set[str]] = {}
+    calls: Dict[str, Set[str]] = {}
+    for name, method in cls_methods.items():
+        refs: Set[str] = set()
+        callees: Set[str] = set()
+        for node in ast.walk(method.node):
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+            ):
+                if node.attr in info.fields:
+                    refs.add(node.attr)
+                elif node.attr in cls_methods:
+                    callees.add(node.attr)
+        direct[name] = refs
+        calls[name] = callees
+    for name in cls_methods:
+        seen: Set[str] = set()
+        stack = [name]
+        fields: Set[str] = set()
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            fields |= direct.get(current, set())
+            stack.extend(calls.get(current, set()) - seen)
+        info.method_fields[name] = fields
+
+
+def _fill_breakdown_keys(node: ast.AST, info: CostModelInfo) -> None:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Dict):
+            for key in sub.keys:
+                if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                    info.breakdown_keys.add(key.value)
+
+
+class EffectAnalysis:
+    """Direct and transitive effect summaries for a linted tree."""
+
+    def __init__(self, index: ProjectIndex, model: RepoModel) -> None:
+        self.index = index
+        self.cost_models = _collect_cost_models(index)
+        self.universe: Set[str] = {
+            name for name in model.cost_fields if not name.startswith("_")
+        }
+        for info in self.cost_models.values():
+            self.universe |= info.fields
+        self.charge_records: List[ChargeRecord] = []
+        self.direct: Dict[str, EffectSummary] = {}
+        for key in sorted(index.functions):
+            self.direct[key] = self._direct_effects(index.functions[key])
+        self._closures: Dict[str, EffectSummary] = {}
+
+    # -- public API ----------------------------------------------------
+
+    def closure(self, key: str) -> EffectSummary:
+        """Effects of *key* plus everything it transitively calls."""
+        cached = self._closures.get(key)
+        if cached is not None:
+            return cached
+        summary = EffectSummary()
+        for reached in self.index.reachable([key]):
+            direct = self.direct.get(reached)
+            if direct is not None:
+                summary.update(direct)
+        self._closures[key] = summary
+        return summary
+
+    # -- extraction ----------------------------------------------------
+
+    def _direct_effects(self, fn: FunctionInfo) -> EffectSummary:
+        summary = EffectSummary()
+        env = local_alias_env(fn.node)
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            target = call_target(node.func, env)
+            if target is None:
+                continue
+            if target.method in CHARGE_METHODS and self._is_clock(fn, target):
+                self._record_charge(fn, node, target, env, summary)
+            elif target.method == "emit" and target.terminal in EMIT_RECEIVERS:
+                name = string_arg(node, 0, "name")
+                summary.events.add(f"event:{name if name is not None else DYNAMIC}")
+                for item in node.keywords:
+                    if item.arg == "reason":
+                        if isinstance(item.value, ast.Constant) and isinstance(
+                            item.value.value, str
+                        ):
+                            summary.reasons.add(f"reason:{item.value.value}")
+                        else:
+                            summary.reasons.add(f"reason:{DYNAMIC}")
+            elif (
+                target.method in MUTATOR_METHODS
+                and target.receiver
+                and fn.class_name
+                and not any(part.startswith("_") for part in target.receiver)
+            ):
+                path = ".".join(target.receiver)
+                summary.stats.add(f"stat:{fn.class_name}.{path}.{target.method}")
+        return summary
+
+    def _is_clock(self, fn: FunctionInfo, target: CallTarget) -> bool:
+        if target.terminal in CLOCK_RECEIVERS:
+            return True
+        if target.receiver:
+            receiver = self.index.receiver_class(fn, target.receiver)
+            if receiver is not None and receiver.name == "EngineClock":
+                return True
+        return False
+
+    def _record_charge(
+        self,
+        fn: FunctionInfo,
+        call: ast.Call,
+        target: CallTarget,
+        env: Mapping[str, Tuple[str, ...]],
+        summary: EffectSummary,
+    ) -> None:
+        cycles: Optional[ast.expr] = call.args[0] if call.args else None
+        if cycles is None:
+            for item in call.keywords:
+                if item.arg == "cycles":
+                    cycles = item.value
+        if cycles is None:
+            return
+        direct: List[Tuple[str, Optional[str]]] = []
+        expanded: Dict[str, Set[str]] = {}
+        for node in ast.walk(cycles):
+            if isinstance(node, ast.Call):
+                inner = call_target(node.func, env)
+                if inner is None:
+                    continue
+                for info in self._models_for(fn, inner):
+                    fields = info.method_fields.get(inner.method)
+                    if fields:
+                        expanded.setdefault(info.name, set()).update(fields)
+            elif isinstance(node, ast.Attribute) and node.attr in self.universe:
+                owner: Optional[str] = None
+                receiver = self_attribute_path(node.value, env)
+                if receiver is not None:
+                    cls = self.index.receiver_class(fn, receiver)
+                    if cls is not None and cls.name in self.cost_models:
+                        owner = cls.name
+                direct.append((node.attr, owner))
+        if not direct and not expanded:
+            return
+        self.charge_records.append(
+            ChargeRecord(
+                function=fn.key,
+                module=fn.module,
+                line=call.lineno,
+                direct=tuple(direct),
+                expanded=expanded,
+            )
+        )
+        summary.costs.update(name for name, _ in direct)
+        for fields in expanded.values():
+            summary.costs |= fields
+
+    def _models_for(
+        self, fn: FunctionInfo, target: CallTarget
+    ) -> List[CostModelInfo]:
+        if target.receiver:
+            cls = self.index.receiver_class(fn, target.receiver)
+            if cls is not None:
+                info = self.cost_models.get(cls.name)
+                return [info] if info is not None else []
+        return [
+            info
+            for info in self.cost_models.values()
+            if target.method in info.method_fields and info.method_fields[target.method]
+        ]

@@ -98,6 +98,82 @@ def render_json(
     return json.dumps(document, indent=2, sort_keys=True)
 
 
+#: SARIF 2.1.0 result levels for each finding severity.
+_SARIF_LEVELS = {"error": "error", "warning": "warning", "info": "note"}
+
+
+def render_sarif(
+    findings: Iterable[Finding],
+    root: str = "",
+    path_prefix: str = "",
+    rule_titles: Dict[str, str] | None = None,
+) -> str:
+    """SARIF 2.1.0 report, the GitHub code-scanning upload format.
+
+    *path_prefix* (e.g. ``src/repro``) is prepended to every finding
+    path so locations are repository-relative, which is what the
+    code-scanning annotator expects; *rule_titles* supplies the
+    ``shortDescription`` per rule id (the CLI passes the registry).
+    *root* is unused by consumers but recorded as a run property so a
+    report can be traced back to the tree it linted.
+    """
+    ordered = sorted(findings, key=Finding.sort_key)
+    titles = rule_titles or {}
+    rules = [
+        {
+            "id": rule_id,
+            "shortDescription": {"text": titles.get(rule_id, rule_id)},
+        }
+        for rule_id in sorted({finding.rule for finding in ordered})
+    ]
+    results = []
+    for finding in ordered:
+        uri = (
+            f"{path_prefix.rstrip('/')}/{finding.path}"
+            if path_prefix
+            else finding.path
+        )
+        text = finding.message
+        if finding.hint:
+            text += f" (hint: {finding.hint})"
+        results.append(
+            {
+                "ruleId": finding.rule,
+                "level": _SARIF_LEVELS[finding.severity.value],
+                "message": {"text": text},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": uri},
+                            "region": {"startLine": finding.line},
+                        }
+                    }
+                ],
+            }
+        )
+    document: Dict[str, Any] = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "simlint",
+                        "version": "1",
+                        "rules": rules,
+                    }
+                },
+                "properties": {"root": root},
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
 def worst_severity(findings: Iterable[Finding]) -> Severity | None:
     """The most severe level present, or None for an empty report."""
     worst: Severity | None = None

@@ -2,10 +2,14 @@
 
 :func:`lint_paths` is the programmatic entry point; the CLI in
 :mod:`repro.devtools.cli` is a thin argument parser around it.  The
-driver parses each module once, hands the tree to every selected rule,
-filters the findings through the file's suppression directives, and
-reports stale directives so suppressions cannot outlive the code they
-excused.
+driver parses each module once, hands the tree to every selected
+module-scoped rule, then builds a project-wide
+:class:`~repro.devtools.callgraph.ProjectIndex` over all parsed trees
+and runs the project-scoped rules (the SL7 dual-path family and
+SL204) once.  Every finding -- module or project -- is then filtered
+through its file's suppression directives, and stale directives are
+reported last so a suppression consumed by a project rule is never
+also flagged as unused.
 """
 
 from __future__ import annotations
@@ -13,11 +17,17 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence, Set
+from typing import Dict, Iterable, List, Optional, Sequence, Set
 
+from repro.devtools.callgraph import ProjectIndex
 from repro.devtools.findings import Finding, Severity
 from repro.devtools.model import RepoModel, build_model
-from repro.devtools.rules import RULE_REGISTRY, ModuleContext, register_rule
+from repro.devtools.rules import (
+    RULE_REGISTRY,
+    ModuleContext,
+    ProjectContext,
+    register_rule,
+)
 from repro.devtools.suppress import SuppressionIndex
 
 # Importing a rule module registers its rules; this list is the
@@ -25,6 +35,7 @@ from repro.devtools.suppress import SuppressionIndex
 from repro.devtools import (  # noqa: F401  (imported for registration)
     rules_costmodel,
     rules_determinism,
+    rules_dualpath,
     rules_hooks,
     rules_parallel,
     rules_simtime,
@@ -111,13 +122,42 @@ def _selected_rules(rule_filter: Optional[Iterable[str]]) -> Set[str]:
     return selected | _META_RULES
 
 
+def _parse_failure(path_relative: str, exc: SyntaxError) -> Finding:
+    return Finding(
+        rule="SL000",
+        severity=Severity.ERROR,
+        path=path_relative,
+        line=exc.lineno or 1,
+        message=f"syntax error: {exc.msg}",
+        hint=RULE_REGISTRY["SL000"].hint,
+    )
+
+
+def _unused_finding(path_relative: str, line: int, rules: Set[str]) -> Finding:
+    return Finding(
+        rule="SL001",
+        severity=Severity.WARNING,
+        path=path_relative,
+        line=line,
+        message=(
+            f"suppression for {', '.join(sorted(rules))} never fired"
+        ),
+        hint=RULE_REGISTRY["SL001"].hint,
+    )
+
+
 def lint_file(
     path: Path,
     root: Path,
     model: RepoModel,
     selected: Optional[Set[str]] = None,
 ) -> List[Finding]:
-    """Lint one module; returns post-suppression findings."""
+    """Lint one module with the module-scoped rules only.
+
+    Kept as the single-file API (used by tests and tooling); the
+    project-scoped rules need the whole tree and therefore only run
+    under :func:`lint_paths`.
+    """
     if selected is None:
         selected = set(RULE_REGISTRY)
     relative = _relative_to_root(path, root)
@@ -125,22 +165,15 @@ def lint_file(
     try:
         tree = ast.parse(source, filename=str(path))
     except SyntaxError as exc:
-        return [
-            Finding(
-                rule="SL000",
-                severity=Severity.ERROR,
-                path=relative,
-                line=exc.lineno or 1,
-                message=f"syntax error: {exc.msg}",
-                hint=RULE_REGISTRY["SL000"].hint,
-            )
-        ]
+        return [_parse_failure(relative, exc)]
 
     context = ModuleContext(
         path=relative, tree=tree, source=source, model=model
     )
     for rule_id, rule in RULE_REGISTRY.items():
         if rule_id in _META_RULES or rule_id not in selected:
+            continue
+        if rule.scope != "module":
             continue
         rule.check(context)
 
@@ -153,17 +186,7 @@ def lint_file(
     if "SL001" in selected:
         for suppression in index.unused():
             kept.append(
-                Finding(
-                    rule="SL001",
-                    severity=Severity.WARNING,
-                    path=relative,
-                    line=suppression.line,
-                    message=(
-                        "suppression for "
-                        f"{', '.join(sorted(suppression.rules))} never fired"
-                    ),
-                    hint=RULE_REGISTRY["SL001"].hint,
-                )
+                _unused_finding(relative, suppression.line, suppression.rules)
             )
     return kept
 
@@ -172,6 +195,7 @@ def lint_paths(
     paths: Sequence[str | Path],
     root: Optional[str | Path] = None,
     rules: Optional[Iterable[str]] = None,
+    restrict_to: Optional[Set[Path]] = None,
 ) -> LintResult:
     """Lint every ``.py`` file under *paths*.
 
@@ -179,6 +203,11 @@ def lint_paths(
     it defaults to the first directory argument (or the first file's
     parent), which is the right thing both for ``src/repro`` and for
     the fixture corpus.
+
+    *restrict_to* (absolute, resolved paths) keeps only findings whose
+    file is in the set -- the whole tree is still parsed and analysed,
+    because the project-scoped rules need the full call graph, but
+    only the named files are reported (``repro lint --changed``).
     """
     resolved = [Path(p) for p in paths]
     if root is None:
@@ -189,8 +218,70 @@ def lint_paths(
     model = build_model(root_path)
     selected = _selected_rules(rules)
     result = LintResult(root=str(root_path))
+
+    raw: List[Finding] = []  #: pre-suppression rule findings
+    meta: List[Finding] = []  #: SL000 -- never suppressible
+    trees: Dict[str, ast.Module] = {}
+    suppressions: Dict[str, SuppressionIndex] = {}
+    absolute: Dict[str, Path] = {}
+
     for path in _collect_files(resolved):
         result.files_scanned += 1
-        result.findings.extend(lint_file(path, root_path, model, selected))
-    result.findings.sort(key=Finding.sort_key)
+        relative = _relative_to_root(path, root_path)
+        absolute[relative] = path.resolve()
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            meta.append(_parse_failure(relative, exc))
+            continue
+        context = ModuleContext(
+            path=relative, tree=tree, source=source, model=model
+        )
+        for rule_id, rule in RULE_REGISTRY.items():
+            if rule_id in _META_RULES or rule_id not in selected:
+                continue
+            if rule.scope != "module":
+                continue
+            rule.check(context)
+        raw.extend(context.findings)
+        trees[relative] = tree
+        suppressions[relative] = SuppressionIndex(source)
+
+    project_rules = [
+        rule
+        for rule in RULE_REGISTRY.values()
+        if rule.scope == "project" and rule.id in selected
+    ]
+    if project_rules and trees:
+        project = ProjectContext(index=ProjectIndex.build(trees), model=model)
+        for rule in project_rules:
+            rule.check(project)
+        raw.extend(project.findings)
+
+    kept = list(meta)
+    for finding in raw:
+        index = suppressions.get(finding.path)
+        if index is not None and index.is_suppressed(finding.rule, finding.line):
+            result.suppressions_used += 1
+            continue
+        kept.append(finding)
+    if "SL001" in selected:
+        for relative in suppressions:
+            for suppression in suppressions[relative].unused():
+                kept.append(
+                    _unused_finding(
+                        relative, suppression.line, suppression.rules
+                    )
+                )
+
+    if restrict_to is not None:
+        reported = {
+            relative
+            for relative, path in absolute.items()
+            if path in restrict_to
+        }
+        kept = [finding for finding in kept if finding.path in reported]
+
+    result.findings = sorted(kept, key=Finding.sort_key)
     return result

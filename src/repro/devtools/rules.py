@@ -12,10 +12,13 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
 
 from repro.devtools.findings import Finding, Severity
 from repro.devtools.model import RepoModel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.devtools.callgraph import ProjectIndex
 
 
 @dataclass
@@ -35,7 +38,7 @@ class ModuleContext:
         node: ast.AST,
         message: str,
         hint: str = "",
-        **data,
+        **data: Any,
     ) -> None:
         rule = RULE_REGISTRY[rule_id]
         self.findings.append(
@@ -100,6 +103,51 @@ class ModuleContext:
         return ".".join(reversed(parts))
 
 
+@dataclass
+class ProjectContext:
+    """What a project-scoped rule may look at: the whole linted tree.
+
+    Built once per lint run after every module parsed; project rules
+    (``scope="project"``) receive it instead of a
+    :class:`ModuleContext`.  ``cache`` lets rules of one family share
+    expensive analyses (the SL7 rules all need the same effect
+    closures) within a single run.
+    """
+
+    index: "ProjectIndex"
+    model: RepoModel
+    findings: List[Finding] = field(default_factory=list)
+    cache: Dict[str, Any] = field(default_factory=dict)
+
+    def report(
+        self,
+        rule_id: str,
+        path: str,
+        line: int,
+        message: str,
+        hint: str = "",
+        **data: Any,
+    ) -> None:
+        rule = RULE_REGISTRY[rule_id]
+        self.findings.append(
+            Finding(
+                rule=rule.id,
+                severity=rule.severity,
+                path=path,
+                line=line,
+                message=message,
+                hint=hint or rule.hint,
+                data=data,
+            )
+        )
+
+
+#: A check is ``Callable[[ModuleContext], None]`` for module-scoped
+#: rules and ``Callable[[ProjectContext], None]`` for project-scoped
+#: ones; the registry stores both behind one loose signature.
+CheckFunction = Callable[..., None]
+
+
 @dataclass(frozen=True)
 class Rule:
     """One registered check."""
@@ -109,7 +157,8 @@ class Rule:
     title: str
     severity: Severity
     hint: str
-    check: Callable[[ModuleContext], None]
+    check: CheckFunction
+    scope: str = "module"  #: ``"module"`` or ``"project"``
 
 
 #: id -> rule, in registration order (dicts preserve it).
@@ -122,10 +171,11 @@ def register_rule(
     title: str,
     severity: Severity = Severity.ERROR,
     hint: str = "",
-) -> Callable[[Callable[[ModuleContext], None]], Callable[[ModuleContext], None]]:
+    scope: str = "module",
+) -> Callable[[CheckFunction], CheckFunction]:
     """Decorator: register *check* under *rule_id*."""
 
-    def wrap(check: Callable[[ModuleContext], None]):
+    def wrap(check: CheckFunction) -> CheckFunction:
         if rule_id in RULE_REGISTRY:
             raise ValueError(f"duplicate rule id {rule_id}")
         RULE_REGISTRY[rule_id] = Rule(
@@ -135,6 +185,7 @@ def register_rule(
             severity=severity,
             hint=hint,
             check=check,
+            scope=scope,
         )
         return check
 

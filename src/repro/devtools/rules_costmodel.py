@@ -24,7 +24,7 @@ from repro.devtools.rules import (
 )
 
 #: Methods that charge cycles to an engine clock (or host CPU) ledger.
-CHARGE_METHODS = {"work", "charge"}
+CHARGE_METHODS = {"work", "charge", "charge_at"}
 
 #: Cycle-profiler accounting methods (repro.obs.profiler.CycleProfiler).
 PROFILER_METHODS = {"record_cell", "record_pdu", "record_oam", "record_ops"}

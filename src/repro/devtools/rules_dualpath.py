@@ -1,0 +1,445 @@
+"""SL7 -- dual-path equivalence, plus the SL204 budget cross-check.
+
+PR 7's fast path re-implements the per-cell datapath as batched
+``CellBurst`` replay whose contract is "byte-identical stats, charges
+and trace events to the scalar path".  The equivalence tests prove
+that dynamically on the scenarios they run; these rules prove the
+*static* half on every branch: each scalar handler and its declared
+burst counterpart must reach the same effect sets
+(:mod:`repro.devtools.effects`) over the project call graph
+(:mod:`repro.devtools.callgraph`).
+
+Pairs are declared where the handlers live, as a module-level pure
+literal::
+
+    PATH_PAIRS = [
+        {
+            "scalar": "TxEngine._emit_cells_scalar",
+            "burst": "TxEngine._emit_cells_fast",
+            "scalar_only": ["event:tx.cell.paced"],
+            "burst_only": ["event:burst.form"],
+            "why": "pacing never rides the burst lane",
+        },
+    ]
+
+``scalar_only``/``burst_only`` list *declared* asymmetries (tokens
+``stat:``/``event:``/``reason:``/``cost:``); anything one-sided and
+undeclared is a finding:
+
+- **SL701** a stat mutated on one path only;
+- **SL702** a trace event or drop reason emitted on one path only;
+- **SL703** a cost-model field charged on one path only;
+- **SL704** a fast-path entry point (burst/fast naming, or a
+  ``CellBurst`` parameter) in ``nic/``/``atm/``/``host/`` that is in
+  no pair and unreachable from any declared burst side -- or a
+  PATH_PAIRS entry that does not resolve.
+
+**SL204** is the sibling budget check: the cost fields statically
+charged at engine-clock sites are cross-checked *both ways* against
+the T1/T2 ``breakdown()`` tables in ``nic/costs.py`` -- a table key
+never charged, or a charged field missing from its table, means the
+budget tables drifted from the code that charges them.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.devtools.callgraph import FunctionInfo, annotation_name
+from repro.devtools.effects import EffectAnalysis
+from repro.devtools.rules import ProjectContext, register_rule
+
+#: Tree prefixes where fast-path handlers live (SL704's search scope).
+PAIR_SCOPE = ("nic/", "atm/", "host/")
+
+#: Function names that look like fast-path entry points.
+_FAST_NAME = re.compile(r"(?:^|_)bursts?(?:_|$)|_fast$|^fast_")
+
+_EFFECT_KINDS = ("stat", "event", "reason", "cost")
+
+
+@dataclass
+class ResolvedPair:
+    """One PATH_PAIRS entry with both sides resolved to functions."""
+
+    module: str
+    line: int
+    scalar: FunctionInfo
+    burst: FunctionInfo
+    #: ``("scalar"|"burst", kind) -> declared one-sided effect names``.
+    allowed: Dict[Tuple[str, str], Set[str]] = field(default_factory=dict)
+
+
+@dataclass
+class PairDiff:
+    """One undeclared one-sided effect between a pair's closures."""
+
+    pair: ResolvedPair
+    kind: str  #: ``stat`` / ``event`` / ``reason`` / ``cost``
+    name: str  #: The effect, without its ``kind:`` prefix.
+    present: str  #: ``"scalar"`` or ``"burst"`` -- the side that has it.
+
+
+def _analysis(ctx: ProjectContext) -> EffectAnalysis:
+    cached = ctx.cache.get("effects")
+    if not isinstance(cached, EffectAnalysis):
+        cached = EffectAnalysis(ctx.index, ctx.model)
+        ctx.cache["effects"] = cached
+    return cached
+
+
+def _split_token(token: object) -> Optional[Tuple[str, str]]:
+    if not isinstance(token, str) or ":" not in token:
+        return None
+    kind, name = token.split(":", 1)
+    if kind not in _EFFECT_KINDS or not name:
+        return None
+    return kind, name
+
+
+def _resolve_pairs(
+    ctx: ProjectContext,
+) -> Tuple[List[ResolvedPair], List[Tuple[str, int, str]]]:
+    """``(pairs, problems)`` -- problems are (module, line, message)."""
+    cached = ctx.cache.get("pairs")
+    if isinstance(cached, tuple):
+        pairs_cached, problems_cached = cached
+        return list(pairs_cached), list(problems_cached)
+    pairs: List[ResolvedPair] = []
+    problems: List[Tuple[str, int, str]] = []
+    for decl in ctx.index.path_pairs:
+        if decl.entries is None:
+            problems.append((decl.module, decl.line, decl.error))
+            continue
+        for position, entry in enumerate(decl.entries):
+            if not isinstance(entry, dict):
+                problems.append(
+                    (decl.module, decl.line, f"entry {position} is not a dict")
+                )
+                continue
+            sides: Dict[str, FunctionInfo] = {}
+            bad = False
+            for side in ("scalar", "burst"):
+                qualname = entry.get(side)
+                if not isinstance(qualname, str):
+                    problems.append(
+                        (
+                            decl.module,
+                            decl.line,
+                            f"entry {position} lacks a string {side!r} key",
+                        )
+                    )
+                    bad = True
+                    continue
+                found = ctx.index.functions.get(f"{decl.module}::{qualname}")
+                if found is None:
+                    problems.append(
+                        (
+                            decl.module,
+                            decl.line,
+                            f"entry {position} names unknown function "
+                            f"{qualname!r} (must be defined in this module)",
+                        )
+                    )
+                    bad = True
+                    continue
+                sides[side] = found
+            if bad:
+                continue
+            pair = ResolvedPair(
+                module=decl.module,
+                line=decl.line,
+                scalar=sides["scalar"],
+                burst=sides["burst"],
+            )
+            for side in ("scalar_only", "burst_only"):
+                tokens = entry.get(side, [])
+                if not isinstance(tokens, list):
+                    problems.append(
+                        (
+                            decl.module,
+                            decl.line,
+                            f"entry {position}: {side} must be a list of "
+                            "'kind:name' tokens",
+                        )
+                    )
+                    continue
+                owner = "scalar" if side == "scalar_only" else "burst"
+                for token in tokens:
+                    parsed = _split_token(token)
+                    if parsed is None:
+                        problems.append(
+                            (
+                                decl.module,
+                                decl.line,
+                                f"entry {position}: bad effect token "
+                                f"{token!r} (want 'stat:...', 'event:...', "
+                                "'reason:...' or 'cost:...')",
+                            )
+                        )
+                        continue
+                    kind, name = parsed
+                    pair.allowed.setdefault((owner, kind), set()).add(name)
+            pairs.append(pair)
+    ctx.cache["pairs"] = (list(pairs), list(problems))
+    return pairs, problems
+
+
+def _pair_diffs(ctx: ProjectContext) -> List[PairDiff]:
+    cached = ctx.cache.get("diffs")
+    if isinstance(cached, list):
+        return cached
+    analysis = _analysis(ctx)
+    pairs, _ = _resolve_pairs(ctx)
+    diffs: List[PairDiff] = []
+    for pair in pairs:
+        scalar = analysis.closure(pair.scalar.key)
+        burst = analysis.closure(pair.burst.key)
+        for kind, prefix_sets in (
+            ("stat", (scalar.stats, burst.stats)),
+            ("event", (scalar.events, burst.events)),
+            ("reason", (scalar.reasons, burst.reasons)),
+            ("cost", (scalar.costs, burst.costs)),
+        ):
+            scalar_set, burst_set = prefix_sets
+            if kind == "cost":
+                scalar_names, burst_names = set(scalar_set), set(burst_set)
+            else:
+                scalar_names = {name.split(":", 1)[1] for name in scalar_set}
+                burst_names = {name.split(":", 1)[1] for name in burst_set}
+            scalar_only = (
+                scalar_names
+                - burst_names
+                - pair.allowed.get(("scalar", kind), set())
+            )
+            burst_only = (
+                burst_names
+                - scalar_names
+                - pair.allowed.get(("burst", kind), set())
+            )
+            for name in sorted(scalar_only):
+                diffs.append(PairDiff(pair, kind, name, present="scalar"))
+            for name in sorted(burst_only):
+                diffs.append(PairDiff(pair, kind, name, present="burst"))
+    ctx.cache["diffs"] = diffs
+    return diffs
+
+
+def _report_diff(ctx: ProjectContext, rule_id: str, diff: PairDiff, verb: str) -> None:
+    pair = diff.pair
+    if diff.present == "scalar":
+        lacking, having = pair.burst, pair.scalar
+        lane, other_lane = "burst", "scalar"
+    else:
+        lacking, having = pair.scalar, pair.burst
+        lane, other_lane = "scalar", "burst"
+    ctx.report(
+        rule_id,
+        path=lacking.module,
+        line=lacking.line,
+        message=(
+            f"{diff.kind} '{diff.name}' is {verb} on the {other_lane} path "
+            f"{having.qualname} but never on its {lane} counterpart "
+            f"{lacking.qualname}"
+        ),
+    )
+
+
+@register_rule(
+    "SL701",
+    "SL7 dual-path",
+    "stat mutated on one path of a scalar/burst pair only",
+    hint=(
+        "mirror the mutation in the lacking handler, or declare the "
+        "asymmetry in PATH_PAIRS (scalar_only/burst_only: 'stat:...') "
+        "with a why"
+    ),
+    scope="project",
+)
+def check_stat_parity(ctx: ProjectContext) -> None:
+    for diff in _pair_diffs(ctx):
+        if diff.kind == "stat":
+            _report_diff(ctx, "SL701", diff, "mutated")
+
+
+@register_rule(
+    "SL702",
+    "SL7 dual-path",
+    "trace event or drop reason emitted on one path only",
+    hint=(
+        "the burst replay must emit the same lifecycle events and drop "
+        "reasons as the scalar reference; mirror the emission or declare "
+        "it in PATH_PAIRS ('event:...' / 'reason:...')"
+    ),
+    scope="project",
+)
+def check_trace_parity(ctx: ProjectContext) -> None:
+    for diff in _pair_diffs(ctx):
+        if diff.kind == "event":
+            _report_diff(ctx, "SL702", diff, "emitted")
+        elif diff.kind == "reason":
+            _report_diff(ctx, "SL702", diff, "booked")
+
+
+@register_rule(
+    "SL703",
+    "SL7 dual-path",
+    "cost-model field charged on one path only",
+    hint=(
+        "every cycle the scalar reference charges must be replayed by "
+        "the burst path (and vice versa); mirror the charge or declare "
+        "it in PATH_PAIRS ('cost:<field>')"
+    ),
+    scope="project",
+)
+def check_cost_parity(ctx: ProjectContext) -> None:
+    for diff in _pair_diffs(ctx):
+        if diff.kind == "cost":
+            _report_diff(ctx, "SL703", diff, "charged")
+
+
+@register_rule(
+    "SL704",
+    "SL7 dual-path",
+    "fast-path entry point not declared in any PATH_PAIRS registry",
+    hint=(
+        "pair the handler with its scalar counterpart in a module-level "
+        "PATH_PAIRS literal so SL701-SL703 can check it; helpers only "
+        "reachable from a declared burst side are already covered"
+    ),
+    scope="project",
+)
+def check_unpaired_entry_points(ctx: ProjectContext) -> None:
+    pairs, problems = _resolve_pairs(ctx)
+    for module, line, message in problems:
+        ctx.report("SL704", path=module, line=line, message=message)
+    declared: Set[str] = set()
+    burst_roots: List[str] = []
+    for pair in pairs:
+        declared.add(pair.scalar.key)
+        declared.add(pair.burst.key)
+        burst_roots.append(pair.burst.key)
+    covered = ctx.index.reachable(burst_roots) | declared
+    for key in sorted(ctx.index.functions):
+        fn = ctx.index.functions[key]
+        if not _in_scope(fn.module) or fn.module.endswith("atm/burst.py"):
+            continue
+        if fn.class_name == "CellBurst":
+            continue
+        if not _looks_fast(fn):
+            continue
+        if key in covered:
+            continue
+        ctx.report(
+            "SL704",
+            path=fn.module,
+            line=fn.line,
+            message=(
+                f"fast-path entry point {fn.qualname!r} is not declared in "
+                "any PATH_PAIRS registry and is not reachable from a "
+                "declared burst handler"
+            ),
+        )
+
+
+def _in_scope(module: str) -> bool:
+    return any(
+        module.startswith(prefix) or f"/{prefix}" in f"/{module}"
+        for prefix in PAIR_SCOPE
+    )
+
+
+def _looks_fast(fn: FunctionInfo) -> bool:
+    if _FAST_NAME.search(fn.node.name):
+        return True
+    for arg in list(fn.node.args.posonlyargs) + list(fn.node.args.args):
+        if arg.annotation is not None:
+            name = annotation_name(arg.annotation)
+            if name is not None and name.split(".")[-1] == "CellBurst":
+                return True
+    return False
+
+
+@register_rule(
+    "SL204",
+    "SL2 cost-model",
+    "budget table and charge sites disagree on the cost-field set",
+    hint=(
+        "nic/costs.py breakdown() tables and the engine charge sites "
+        "must cover the same fields: charge the missing field, add it "
+        "to the table, or delete the dead table row"
+    ),
+    scope="project",
+)
+def check_budget_table_composition(ctx: ProjectContext) -> None:
+    analysis = _analysis(ctx)
+    models = analysis.cost_models
+    if not models:
+        return
+    charged: Dict[str, Set[str]] = {name: set() for name in models}
+    for record in analysis.charge_records:
+        for field_name, owner in record.direct:
+            if owner is not None:
+                charged.setdefault(owner, set()).add(field_name)
+            else:
+                for info in models.values():
+                    if field_name in info.fields:
+                        charged[info.name].add(field_name)
+        for owner, fields in record.expanded.items():
+            charged.setdefault(owner, set()).update(fields)
+    # Direction A: a table key nothing ever charges is a dead budget row.
+    for name in sorted(models):
+        info = models[name]
+        if not charged.get(name):
+            continue  # model never charged at all: out of linted scope
+        for key in sorted(info.breakdown_keys):
+            if key in info.fields and key not in charged[name]:
+                ctx.report(
+                    "SL204",
+                    path=info.module,
+                    line=info.breakdown_line,
+                    message=(
+                        f"budget-table key {key!r} of {info.name}.breakdown() "
+                        "is never charged at any engine charge site"
+                    ),
+                )
+    # Direction B: a charged field absent from its budget table.
+    for record in analysis.charge_records:
+        for field_name, owner in record.direct:
+            if owner is not None:
+                info = models.get(owner)
+                if (
+                    info is not None
+                    and field_name in info.fields
+                    and field_name not in info.breakdown_keys
+                ):
+                    ctx.report(
+                        "SL204",
+                        path=record.module,
+                        line=record.line,
+                        message=(
+                            f"charged cost field {field_name!r} is missing "
+                            f"from the {info.name}.breakdown() budget table"
+                        ),
+                    )
+            else:
+                owners = [
+                    info
+                    for info in models.values()
+                    if field_name in info.fields
+                ]
+                if owners and all(
+                    field_name not in info.breakdown_keys for info in owners
+                ):
+                    names = ", ".join(sorted(info.name for info in owners))
+                    ctx.report(
+                        "SL204",
+                        path=record.module,
+                        line=record.line,
+                        message=(
+                            f"charged cost field {field_name!r} is missing "
+                            f"from the budget table(s) of {names}"
+                        ),
+                    )

@@ -21,6 +21,20 @@ from repro.sim.core import Simulator
 from repro.sim.monitor import Counter
 from repro.sim.resources import Resource
 
+#: simlint SL7 dual-path registry (docs/STATIC_ANALYSIS.md): the
+#: arithmetic span walk must book the same transaction accounting as
+#: the arbitrated event-by-event transfer.
+PATH_PAIRS = [
+    {
+        "scalar": "SystemBus._transfer",
+        "burst": "SystemBus.charge_span",
+        "why": (
+            "charge_span runs the burst arithmetic of _transfer "
+            "without arbitration (its caller guarantees an idle bus)"
+        ),
+    },
+]
+
 
 @dataclass(frozen=True)
 class BusSpec:

@@ -18,6 +18,19 @@ from repro.sim.core import Event, Simulator
 from repro.sim.monitor import Counter, WelfordStat
 from repro.sim.resources import Resource
 
+#: simlint SL7 dual-path registry (docs/STATIC_ANALYSIS.md): the
+#: arithmetic transfer span must replay the event-by-event bus walk.
+PATH_PAIRS = [
+    {
+        "scalar": "DmaEngine._span_scalar",
+        "burst": "DmaEngine._span_fast",
+        "why": (
+            "the uncontended fast span charges the same bus accounting "
+            "as the event-by-event walk"
+        ),
+    },
+]
+
 
 @dataclass(frozen=True)
 class DmaSpec:
@@ -69,20 +82,11 @@ class DmaEngine:
         if self.trace is not None:
             self.trace.emit("dma.start", actor=self.name, bytes=nbytes)
         if self.sim.fast_path and self.bus.is_idle:
-            # Uncontended fast path: setup + bus walk + writeback is a
-            # fixed arithmetic chain (identical float adds to the
-            # event-by-event walk below); sleep once to its end.
-            end = self.sim.now + self.spec.setup_time
-            if nbytes > 0:
-                end = self.bus.charge_span(nbytes, end, master=self.name)
-            end = end + self.spec.completion_time
+            end = self._span_fast(nbytes)
             if end > self.sim.now:
                 yield self.sim.wake_at(end)
         else:
-            yield self.sim.timeout(self.spec.setup_time)
-            if nbytes > 0:
-                yield self.bus.transfer(nbytes, master=self.name)
-            yield self.sim.timeout(self.spec.completion_time)
+            yield from self._span_scalar(nbytes)
         self._channel.release(grant)
         self.transfers.increment()
         self.bytes_moved.increment(nbytes)
@@ -93,6 +97,25 @@ class DmaEngine:
                 latency=self.sim.now - started,
             )
         return nbytes
+
+    def _span_fast(self, nbytes: int) -> float:
+        """Uncontended fast path: the transfer span as arithmetic.
+
+        Setup + bus walk + writeback is a fixed chain (identical float
+        adds to the event-by-event walk in :meth:`_span_scalar`); the
+        caller sleeps once to the returned end time.
+        """
+        end = self.sim.now + self.spec.setup_time
+        if nbytes > 0:
+            end = self.bus.charge_span(nbytes, end, master=self.name)
+        return end + self.spec.completion_time
+
+    def _span_scalar(self, nbytes: int):
+        """Reference lane: arbitrate and walk the bus event by event."""
+        yield self.sim.timeout(self.spec.setup_time)
+        if nbytes > 0:
+            yield self.bus.transfer(nbytes, master=self.name)
+        yield self.sim.timeout(self.spec.completion_time)
 
     @property
     def backlog(self) -> int:

@@ -33,6 +33,31 @@ from repro.sim.core import Event, Simulator
 from repro.sim.monitor import Counter, TimeWeightedStat
 from repro.sim.resources import Store
 
+#: simlint SL7 dual-path registry (docs/STATIC_ANALYSIS.md).  A burst
+#: that ``try_put_burst`` cannot accept is re-offered cell-by-cell via
+#: ``try_put``, which is where overflow drops are booked -- hence the
+#: declared scalar-only overflow accounting.
+PATH_PAIRS = [
+    {
+        "scalar": "CellFifo.put",
+        "burst": "CellFifo.put_burst",
+        "why": "blocking burst admission replays per-cell accounting",
+    },
+    {
+        "scalar": "CellFifo.try_put",
+        "burst": "CellFifo.try_put_burst",
+        "scalar_only": [
+            "stat:CellFifo.overflows.increment",
+            "event:cell.drop",
+            "reason:fifo_overflow",
+        ],
+        "why": (
+            "a rejected burst is re-offered cell-by-cell through "
+            "try_put, which books every overflow drop"
+        ),
+    },
+]
+
 
 class CellFifo:
     """A bounded hardware cell FIFO with occupancy statistics."""

@@ -50,6 +50,26 @@ from repro.nic.sarglue import Aal5Glue, SarGlue
 from repro.sim.core import Simulator
 from repro.sim.monitor import Counter, ThroughputMeter, WelfordStat
 
+#: simlint SL7 dual-path registry (docs/STATIC_ANALYSIS.md): the burst
+#: replay lanes must reach the same stat/trace/cost effect sets as
+#: their scalar reference lanes -- no declared asymmetries here, the
+#: receive fast path is a faithful replay.
+PATH_PAIRS = [
+    {
+        "scalar": "RxEngine._consume_cell",
+        "burst": "RxEngine._consume_burst",
+        "why": "burst service replays the scalar per-cell loop exactly",
+    },
+    {
+        "scalar": "RxEngine.receive_cell",
+        "burst": "RxEngine.receive_burst",
+        "why": (
+            "burst admission degrades to per-cell receive_cell under "
+            "discard pressure, so its effect set is the scalar set"
+        ),
+    },
+]
+
 
 @dataclass(frozen=True)
 class FrameDiscardPolicy:
@@ -320,7 +340,6 @@ class RxEngine:
         return CellPosition.MIDDLE if open_context else CellPosition.FIRST
 
     def _loop(self):
-        costs = self.costs
         while True:
             item = yield self.fifo.get()
             if isinstance(item, CellBurst):
@@ -330,125 +349,133 @@ class RxEngine:
                 if end > self.sim.now:
                     yield self.sim.wake_at(end)
                 continue
-            cell: AtmCell = item
-            self.cells_received.increment()
-            vc = VcAddress(cell.vpi, cell.vci)
+            yield from self._consume_cell(item)
 
-            # Management cells peel off before classification: the OAM
-            # unit (hardware-assisted) handles them so the host never
-            # sees a cell.
-            if not cell.is_user_cell:
-                if self.profiler is not None:
-                    self.profiler.record_oam(costs.oam_breakdown())
-                yield self.clock.work(
-                    costs.fifo_pop + costs.header_parse + costs.oam_handling,
-                    tag="rx-oam",
-                )
-                self.oam_cells.increment()
-                if self.trace is not None:
-                    self.trace.emit("rx.cell.oam", actor=self.name, cell=cell)
-                if self.on_oam is not None:
-                    self.on_oam(cell)
-                continue
+    def _consume_cell(self, cell: AtmCell):
+        """Serve one cell off the FIFO: the scalar reference lane.
 
-            # Classification: CAM handshake (or software probe) resolves
-            # the VC.  A miss is a cell for a connection we never opened.
-            table_size = len(self.vc_table)
-            if self.cam is not None:
-                known = self.cam.lookup(vc) is not None
-            else:
-                known = self.vc_table.lookup(vc) is not None
-            if not known:
-                if self.profiler is not None:
-                    lookup_op = (
-                        "vci_lookup_cam"
-                        if self.cam_fitted
-                        else "vci_lookup_software"
-                    )
-                    self.profiler.record_ops(
-                        "rx",
-                        {
-                            "fifo_pop": costs.fifo_pop,
-                            "header_parse": costs.header_parse,
-                            lookup_op: costs.lookup_cycles(
-                                self.cam_fitted, table_size
-                            ),
-                        },
-                    )
-                yield self.clock.work(
-                    costs.fifo_pop
-                    + costs.header_parse
-                    + costs.lookup_cycles(self.cam_fitted, table_size),
-                    tag="rx-unknown-vc",
-                )
-                self.cells_unknown_vc.increment()
-                if self.trace is not None:
-                    self.trace.emit(
-                        "cell.drop",
-                        actor=self.name,
-                        cell=cell,
-                        reason="unknown_vc",
-                    )
-                continue
+        The dual of :meth:`_consume_burst`, which replays exactly this
+        sequence of charges, counters and trace events arithmetically.
+        """
+        costs = self.costs
+        self.cells_received.increment()
+        vc = VcAddress(cell.vpi, cell.vci)
 
-            position = self._position_of(vc, cell)
+        # Management cells peel off before classification: the OAM
+        # unit (hardware-assisted) handles them so the host never
+        # sees a cell.
+        if not cell.is_user_cell:
             if self.profiler is not None:
-                self.profiler.record_cell(
+                self.profiler.record_oam(costs.oam_breakdown())
+            yield self.clock.work(
+                costs.fifo_pop + costs.header_parse + costs.oam_handling,
+                tag="rx-oam",
+            )
+            self.oam_cells.increment()
+            if self.trace is not None:
+                self.trace.emit("rx.cell.oam", actor=self.name, cell=cell)
+            if self.on_oam is not None:
+                self.on_oam(cell)
+            return
+
+        # Classification: CAM handshake (or software probe) resolves
+        # the VC.  A miss is a cell for a connection we never opened.
+        table_size = len(self.vc_table)
+        if self.cam is not None:
+            known = self.cam.lookup(vc) is not None
+        else:
+            known = self.vc_table.lookup(vc) is not None
+        if not known:
+            if self.profiler is not None:
+                lookup_op = (
+                    "vci_lookup_cam"
+                    if self.cam_fitted
+                    else "vci_lookup_software"
+                )
+                self.profiler.record_ops(
                     "rx",
-                    position,
-                    costs.cell_breakdown(position, self.cam_fitted, table_size),
-                    extra=self.glue.rx_extra_cycles,
+                    {
+                        "fifo_pop": costs.fifo_pop,
+                        "header_parse": costs.header_parse,
+                        lookup_op: costs.lookup_cycles(
+                            self.cam_fitted, table_size
+                        ),
+                    },
                 )
             yield self.clock.work(
-                costs.cell_cycles(position, self.cam_fitted, table_size)
-                + self.glue.rx_extra_cycles,
-                tag="rx-cell",
+                costs.fifo_pop
+                + costs.header_parse
+                + costs.lookup_cycles(self.cam_fitted, table_size),
+                tag="rx-unknown-vc",
             )
+            self.cells_unknown_vc.increment()
             if self.trace is not None:
                 self.trace.emit(
-                    "rx.cell.sar",
+                    "cell.drop",
                     actor=self.name,
                     cell=cell,
-                    position=position.value,
+                    reason="unknown_vc",
                 )
+            return
 
-            # Payload into adaptor buffer memory; exhaustion loses the
-            # cell exactly like network loss would.
-            if not self.bufmem.grow(("rx", vc), 1):
-                self.cells_no_buffer.increment()
-                if self.trace is not None:
-                    self.trace.emit(
-                        "cell.drop",
-                        actor=self.name,
-                        cell=cell,
-                        reason="no_adaptor_buffer",
-                    )
-                # The frame is now holed; with PPD, stop admitting its
-                # remaining cells (only while the frame is still open at
-                # admission -- its EOF may already have been accepted).
-                if (
-                    self.discard is not None
-                    and self.discard.ppd
-                    and not self.glue.is_eof(cell)
-                    and vc in self._mid_frame
-                    and vc not in self._discarding
-                ):
-                    self.frames_truncated.increment()
-                    self._discarding[vc] = "ppd"
-                continue
-            self.bufmem.record_write(PAYLOAD_SIZE)
+        position = self._position_of(vc, cell)
+        if self.profiler is not None:
+            self.profiler.record_cell(
+                "rx",
+                position,
+                costs.cell_breakdown(position, self.cam_fitted, table_size),
+                extra=self.glue.rx_extra_cycles,
+            )
+        yield self.clock.work(
+            costs.cell_cycles(position, self.cam_fitted, table_size)
+            + self.glue.rx_extra_cycles,
+            tag="rx-cell",
+        )
+        if self.trace is not None:
+            self.trace.emit(
+                "rx.cell.sar",
+                actor=self.name,
+                cell=cell,
+                position=position.value,
+            )
 
-            indication = self.reassembler.receive_cell(cell, now=self.sim.now)
-            if indication is None:
-                if self.glue.has_context(self.reassembler, vc):
-                    if self.on_context_activity is not None:
-                        self.on_context_activity(vc)
-                else:
-                    # The reassembler closed the context with a failure
-                    # verdict (CRC/length/oversize): reclaim the buffer.
-                    self.bufmem.release(("rx", vc))
-                continue
-            self._complete(vc, cell, indication)
+        # Payload into adaptor buffer memory; exhaustion loses the
+        # cell exactly like network loss would.
+        if not self.bufmem.grow(("rx", vc), 1):
+            self.cells_no_buffer.increment()
+            if self.trace is not None:
+                self.trace.emit(
+                    "cell.drop",
+                    actor=self.name,
+                    cell=cell,
+                    reason="no_adaptor_buffer",
+                )
+            # The frame is now holed; with PPD, stop admitting its
+            # remaining cells (only while the frame is still open at
+            # admission -- its EOF may already have been accepted).
+            if (
+                self.discard is not None
+                and self.discard.ppd
+                and not self.glue.is_eof(cell)
+                and vc in self._mid_frame
+                and vc not in self._discarding
+            ):
+                self.frames_truncated.increment()
+                self._discarding[vc] = "ppd"
+            return
+        self.bufmem.record_write(PAYLOAD_SIZE)
+
+        indication = self.reassembler.receive_cell(cell, now=self.sim.now)
+        if indication is None:
+            if self.glue.has_context(self.reassembler, vc):
+                if self.on_context_activity is not None:
+                    self.on_context_activity(vc)
+            else:
+                # The reassembler closed the context with a failure
+                # verdict (CRC/length/oversize): reclaim the buffer.
+                self.bufmem.release(("rx", vc))
+            return
+        self._complete(vc, cell, indication)
 
     def _consume_burst(self, burst: CellBurst) -> float:
         """Replay a burst's cells at their virtual service times.

@@ -33,6 +33,26 @@ from repro.nic.sarglue import Aal5Glue, SarGlue
 from repro.sim.core import Simulator
 from repro.sim.monitor import Counter, ThroughputMeter, WelfordStat
 
+#: simlint SL7 dual-path registry (docs/STATIC_ANALYSIS.md): the scalar
+#: and burst cell-emission lanes must reach identical stat/trace/cost
+#: effect sets, up to the asymmetries declared here.
+PATH_PAIRS = [
+    {
+        "scalar": "TxEngine._emit_cells_scalar",
+        "burst": "TxEngine._emit_cells_fast",
+        "scalar_only": [
+            "stat:TxEngine.pacing_stalls.increment",
+            "event:tx.cell.paced",
+        ],
+        "burst_only": ["event:burst.form"],
+        "why": (
+            "pacing never rides the burst lane (the fast path handles "
+            "unpaced VCs only); bursts announce their formation with "
+            "one burst.form per chunk"
+        ),
+    },
+]
+
 
 class TxEngine:
     """The programmable segmentation engine."""
@@ -163,52 +183,9 @@ class TxEngine:
                 # pre-announced bursts, one event per burst.
                 yield from self._emit_cells_fast(descriptor, cells)
             else:
-                for index, cell in enumerate(cells):
-                    position = CellPosition.of(index, total)
-                    if self.profiler is not None:
-                        self.profiler.record_cell(
-                            "tx",
-                            position,
-                            costs.cell_breakdown(position),
-                            extra=self.glue.tx_extra_cycles,
-                        )
-                    yield self.clock.work(
-                        costs.cell_cycles(position) + self.glue.tx_extra_cycles,
-                        tag="tx-cell",
-                    )
-                    if cell_interval is not None:
-                        # Shape to the VC's peak cell rate.  A single-engine
-                        # firmware loop stalls on the pacer, so one heavily
-                        # shaped VC delays others behind it in the ring --
-                        # faithful to the era's in-order designs.
-                        slot = self._next_slot.get(descriptor.vc, 0.0)
-                        if self.sim.now < slot:
-                            self.pacing_stalls.increment()
-                            if self.trace is not None:
-                                self.trace.emit(
-                                    "tx.cell.paced",
-                                    actor=self.name,
-                                    pdu_id=descriptor.pdu_id,
-                                    vc=descriptor.vc,
-                                    delay=slot - self.sim.now,
-                                )
-                            yield self.sim.timeout(slot - self.sim.now)
-                        self._next_slot[descriptor.vc] = (
-                            max(self.sim.now, slot) + cell_interval
-                        )
-                    self.bufmem.record_read(PAYLOAD_SIZE)
-                    cell.meta["pdu_id"] = descriptor.pdu_id
-                    cell.meta["posted_at"] = descriptor.posted_at
-                    if self.trace is not None:
-                        self.trace.tag_cell(cell)
-                        self.trace.emit(
-                            "tx.cell.sar",
-                            actor=self.name,
-                            cell=cell,
-                            position=position.value,
-                        )
-                    yield self.fifo.put(cell)
-                    self.cells_sent.increment()
+                yield from self._emit_cells_scalar(
+                    descriptor, cells, cell_interval
+                )
 
             # Completion status back to the host.
             yield self.clock.work(
@@ -231,6 +208,62 @@ class TxEngine:
                 )
             if self.on_pdu_sent is not None:
                 self.on_pdu_sent(descriptor)
+
+    def _emit_cells_scalar(self, descriptor: TxDescriptor, cells, cell_interval):
+        """Scalar segmentation: one charge, one FIFO put per cell.
+
+        The reference lane of the ``_emit_cells_fast`` pair -- and the
+        only lane that paces, since the fast path handles unpaced VCs
+        exclusively.
+        """
+        costs = self.costs
+        total = len(cells)
+        for index, cell in enumerate(cells):
+            position = CellPosition.of(index, total)
+            if self.profiler is not None:
+                self.profiler.record_cell(
+                    "tx",
+                    position,
+                    costs.cell_breakdown(position),
+                    extra=self.glue.tx_extra_cycles,
+                )
+            yield self.clock.work(
+                costs.cell_cycles(position) + self.glue.tx_extra_cycles,
+                tag="tx-cell",
+            )
+            if cell_interval is not None:
+                # Shape to the VC's peak cell rate.  A single-engine
+                # firmware loop stalls on the pacer, so one heavily
+                # shaped VC delays others behind it in the ring --
+                # faithful to the era's in-order designs.
+                slot = self._next_slot.get(descriptor.vc, 0.0)
+                if self.sim.now < slot:
+                    self.pacing_stalls.increment()
+                    if self.trace is not None:
+                        self.trace.emit(
+                            "tx.cell.paced",
+                            actor=self.name,
+                            pdu_id=descriptor.pdu_id,
+                            vc=descriptor.vc,
+                            delay=slot - self.sim.now,
+                        )
+                    yield self.sim.timeout(slot - self.sim.now)
+                self._next_slot[descriptor.vc] = (
+                    max(self.sim.now, slot) + cell_interval
+                )
+            self.bufmem.record_read(PAYLOAD_SIZE)
+            cell.meta["pdu_id"] = descriptor.pdu_id
+            cell.meta["posted_at"] = descriptor.posted_at
+            if self.trace is not None:
+                self.trace.tag_cell(cell)
+                self.trace.emit(
+                    "tx.cell.sar",
+                    actor=self.name,
+                    cell=cell,
+                    position=position.value,
+                )
+            yield self.fifo.put(cell)
+            self.cells_sent.increment()
 
     def _emit_cells_fast(self, descriptor: TxDescriptor, cells):
         """Fast-path segmentation: pre-announced bursts into the FIFO.

@@ -1,0 +1,133 @@
+"""SL7 fixtures: scalar/burst pairs that drift, waive, and match.
+
+The ToyEngine pair drifts in every effect kind (SL701, SL702 twice,
+SL703 -- all anchored at the burst def); WaivedEngine carries a
+reasoned SL7 waiver; one registry entry names a function that does not
+exist (SL704 at the declaration); ``drain_burst`` is an unpaired
+fast-path entry point (SL704 at its def) with a waived twin below;
+``charge_off_table`` books a cost field missing from the toy budget
+table (SL204 direction B), with a waived twin below.  The AdmitEngine
+pair at the bottom is the clean reference and must stay LAST in this
+file: the deletion tests remove single effect lines from
+``admit_burst`` and expect exactly one new SL7 finding, with every
+other corpus finding's line number unmoved.
+"""
+
+PATH_PAIRS = [
+    {
+        "scalar": "ToyEngine.consume_cell",
+        "burst": "ToyEngine.consume_burst",
+        "why": "drifted pair: the burst lane lost a stat, a drop and a charge",
+    },
+    {
+        "scalar": "WaivedEngine.emit_cell",
+        "burst": "WaivedEngine.emit_burst",
+        "why": "drifted pair carrying a reasoned waiver at the burst def",
+    },
+    {
+        "scalar": "ToyEngine.ghost_cell",
+        "burst": "ToyEngine.consume_burst",
+        "why": "registry rot: the scalar side does not exist (SL704)",
+    },
+    {
+        "scalar": "AdmitEngine.admit_cell",
+        "burst": "AdmitEngine.admit_burst",
+        "why": "the clean reference pair: effect sets match exactly",
+    },
+]
+
+
+class ToyEngine:
+    """Scalar/burst pair drifted in every effect kind."""
+
+    def __init__(self, clock, trace, costs: ToyCostModel) -> None:
+        self.clock = clock
+        self.trace = trace
+        self.costs = costs
+        self.name = "toy"
+
+    def consume_cell(self, cell):
+        """Scalar reference lane: count, drop-account, charge both words."""
+        self.cells_seen.increment()
+        self.cells_counted.increment()  # SL701: the burst lane never counts
+        self.trace.emit("x.test.event", actor=self.name, cell=cell)
+        self.trace.emit(  # SL702 twice: drop event and reason are one-sided
+            "cell.drop", actor=self.name, cell=cell, reason="stray_alpha"
+        )
+        self.clock.charge(
+            self.costs.header_word + self.costs.trailer_word, tag="toy.cell"
+        )  # SL703: the burst lane forgot trailer_word
+
+    def consume_burst(self, burst):
+        """Burst lane: drifted -- missing a stat, the drop, and a charge."""
+        for cell in burst.cells:
+            self.cells_seen.increment()
+            self.trace.emit("x.test.event", actor=self.name, cell=cell)
+            self.clock.charge(self.costs.header_word, tag="toy.cell")
+
+
+class WaivedEngine:
+    """The same drift shape as ToyEngine, carrying a reasoned waiver."""
+
+    def __init__(self, clock, trace) -> None:
+        self.clock = clock
+        self.trace = trace
+
+    def emit_cell(self, cell):
+        """Scalar lane: books a stat its burst twin never mirrors."""
+        self.events_out.increment()
+        self.waived_stat.increment()
+        self.trace.emit("x.test.event", actor="waived", cell=cell)
+
+    # simlint: disable=SL7 -- fixture shows a reasoned dual-path waiver
+    def emit_burst(self, burst):
+        """Burst lane: the missing waived_stat is suppressed above."""
+        for cell in burst.cells:
+            self.events_out.increment()
+            self.trace.emit("x.test.event", actor="waived", cell=cell)
+
+
+def drain_burst(fifo, trace):
+    """An undeclared burst handler: no pair, not reachable from one."""
+    while fifo.try_get() is not None:
+        trace.emit("x.test.event", actor="drain")
+
+
+# simlint: disable=SL704 -- fixture shows a reasoned unpaired-handler waiver
+def flush_burst(fifo):
+    """An undeclared burst handler carrying a reasoned waiver."""
+    while fifo.try_get() is not None:
+        pass
+
+
+def charge_off_table(clock, costs):
+    """Books a cost field the toy budget table never lists (SL204)."""
+    clock.charge(costs.secret_op, tag="toy.secret")
+
+
+def charge_waived(clock, costs):
+    """The same budget drift, carrying a reasoned SL204 waiver."""
+    # simlint: disable=SL204 -- fixture shows a reasoned budget-drift waiver
+    clock.charge(costs.hidden_op, tag="toy.hidden")
+
+
+class AdmitEngine:
+    """The clean reference pair: both lanes reach identical effect sets."""
+
+    def __init__(self, clock, trace, costs: ToyCostModel) -> None:
+        self.clock = clock
+        self.trace = trace
+        self.costs = costs
+
+    def admit_cell(self, cell):
+        """Scalar admission: one stat, one event, one charge per cell."""
+        self.cells_admitted.increment()
+        self.trace.emit("x.test.event", actor="admit", cell=cell)
+        self.clock.charge_at(self.costs.header_word, "toy.admit", 0.0)
+
+    def admit_burst(self, burst):
+        """Burst admission: replays the scalar accounting per cell."""
+        for cell in burst.cells:
+            self.cells_admitted.increment()
+            self.trace.emit("x.test.event", actor="admit", cell=cell)
+            self.clock.charge_at(self.costs.header_word, "toy.admit", 0.0)

@@ -9,8 +9,10 @@ promise: the real ``src/repro`` tree stays lint-clean.
 """
 
 import json
+import shutil
 import subprocess
 import sys
+from collections import Counter
 from pathlib import Path
 
 import pytest
@@ -63,6 +65,9 @@ FAMILY_CASES = [
     ("SL4", "sim/scheduler_violations.py", "SL104", 9, 34),
     ("SL5", "hooks_violations.py", "SL501", 7, 15),
     ("SL6", "runner_violations.py", "SL601", 11, 29),
+    ("SL7", "nic/fastpath_pairs.py", "SL701", 61, 83),
+    ("SL704", "nic/fastpath_pairs.py", "SL704", 90, 97),
+    ("SL204", "nic/fastpath_pairs.py", "SL204", 105, 111),
 ]
 
 
@@ -101,7 +106,106 @@ def test_rule_selection_narrows_findings():
 
 def test_registry_covers_all_families():
     families = {rule_id[:3] for rule_id in RULE_REGISTRY if rule_id != "SL000" and rule_id != "SL001"}
-    assert {"SL1", "SL2", "SL3", "SL4", "SL5", "SL6"} <= families
+    assert {"SL1", "SL2", "SL3", "SL4", "SL5", "SL6", "SL7"} <= families
+
+
+def test_sl7_findings_name_the_scalar_counterpart():
+    """Every dual-path finding points the reader at the reference lane."""
+    _, result = corpus_triples()
+    dual = [f for f in result.findings if f.rule in {"SL701", "SL702", "SL703"}]
+    assert len(dual) == 4
+    for finding in dual:
+        assert "ToyEngine.consume_cell" in finding.message
+        assert "ToyEngine.consume_burst" in finding.message
+
+
+def test_sl704_flags_registry_rot_and_unpaired_entry_points():
+    actual, _ = corpus_triples()
+    # A PATH_PAIRS entry naming an unknown function anchors at the registry.
+    assert ("nic/fastpath_pairs.py", 16, "SL704") in actual
+    # An undeclared burst handler anchors at its own def line.
+    assert ("nic/fastpath_pairs.py", 90, "SL704") in actual
+
+
+def test_sl204_cross_checks_both_directions():
+    actual, _ = corpus_triples()
+    # Direction A: a dead budget row anchors at the breakdown() table.
+    assert ("nic/costs.py", 22, "SL204") in actual
+    # Direction B: an off-table charge anchors at the charge site.
+    assert ("nic/fastpath_pairs.py", 105, "SL204") in actual
+
+
+# Deleting one effect line from the clean burst handler must produce
+# exactly one SL7 finding -- and that finding names the scalar lane.
+DELETION_CASES = [
+    ("self.cells_admitted.increment()", "SL701"),
+    ('self.trace.emit("x.test.event", actor="admit", cell=cell)', "SL702"),
+    ('self.clock.charge_at(self.costs.header_word, "toy.admit", 0.0)', "SL703"),
+]
+
+
+@pytest.mark.parametrize(
+    "deleted, rule", DELETION_CASES, ids=[case[1] for case in DELETION_CASES]
+)
+def test_deleting_one_burst_effect_yields_exactly_one_finding(
+    tmp_path, deleted, rule
+):
+    corpus = tmp_path / "corpus"
+    shutil.copytree(CORPUS, corpus)
+    target = corpus / "nic" / "fastpath_pairs.py"
+    head, marker, tail = target.read_text().partition("def admit_burst")
+    assert marker and deleted in tail
+    target.write_text(head + marker + tail.replace(deleted, "pass", 1))
+
+    result = lint_paths([corpus])
+    triples = sorted((f.path, f.line, f.rule) for f in result.findings)
+    added = Counter(triples) - Counter(golden_triples())
+    removed = Counter(golden_triples()) - Counter(triples)
+    assert not removed
+    assert sum(added.values()) == 1
+    [(path, line, got_rule)] = list(added)
+    assert (path, got_rule) == ("nic/fastpath_pairs.py", rule)
+    finding = next(
+        f
+        for f in result.findings
+        if (f.path, f.line, f.rule) == (path, line, got_rule)
+    )
+    assert "AdmitEngine.admit_cell" in finding.message
+
+
+def test_family_prefix_disable_file_covers_whole_family(tmp_path):
+    mod = tmp_path / "mod.py"
+    mod.write_text(
+        '"""Doc."""\n'
+        "# simlint: disable-file=SL1 -- quarantined prototype module\n"
+        "import random\n"
+        "import time\n"
+        "a = time.time()\n"
+        "b = random.random()\n"
+    )
+    result = lint_paths([mod])
+    assert result.findings == []
+
+
+def test_multi_rule_disable_used_by_one_rule_is_not_stale(tmp_path):
+    mod = tmp_path / "mod.py"
+    mod.write_text(
+        '"""Doc."""\n'
+        "import time\n"
+        "a = time.time()  # simlint: disable=SL103,SL102 -- wall-clock waiver\n"
+    )
+    result = lint_paths([mod])
+    assert result.findings == []
+
+
+def test_fully_stale_multi_rule_disable_is_one_sl001(tmp_path):
+    mod = tmp_path / "mod.py"
+    mod.write_text(
+        '"""Doc."""\n'
+        "x = 1  # simlint: disable=SL103,SL102 -- nothing here fires\n"
+    )
+    result = lint_paths([mod])
+    assert [f.rule for f in result.findings] == ["SL001"]
 
 
 def test_syntax_error_becomes_sl000(tmp_path):
@@ -166,6 +270,64 @@ def test_cli_list_rules():
     assert proc.returncode == 0
     for rule_id in ("SL101", "SL201", "SL301", "SL401", "SL501"):
         assert rule_id in proc.stdout
+
+
+def test_cli_sarif_output():
+    proc = _run_cli(str(CORPUS), "--format", "sarif")
+    assert proc.returncode == 1
+    payload = json.loads(proc.stdout)
+    assert payload["version"] == "2.1.0"
+    run = payload["runs"][0]
+    assert run["tool"]["driver"]["name"] == "simlint"
+    results = run["results"]
+    assert len(results) == len(golden_triples())
+    assert {r["level"] for r in results} <= {"error", "warning", "note"}
+    reported = {r["ruleId"] for r in results}
+    assert {"SL701", "SL702", "SL703", "SL704", "SL204"} <= reported
+    catalogued = {r["id"] for r in run["tool"]["driver"]["rules"]}
+    assert reported <= catalogued
+    uris = {
+        r["locations"][0]["physicalLocation"]["artifactLocation"]["uri"]
+        for r in results
+    }
+    assert any(uri.endswith("nic/fastpath_pairs.py") for uri in uris)
+
+
+def _git(*args, cwd):
+    subprocess.run(
+        ["git", *args], cwd=cwd, check=True, capture_output=True, text=True
+    )
+
+
+def test_cli_changed_restricts_to_modified_files(tmp_path):
+    repo = tmp_path / "repo"
+    pkg = repo / "pkg"
+    pkg.mkdir(parents=True)
+    clean = pkg / "clean.py"
+    clean.write_text('"""Doc."""\nx = 1\n')
+    dirty = pkg / "dirty.py"
+    dirty.write_text('"""Doc."""\nimport time\na = time.time()\n')
+    _git("init", "-q", cwd=repo)
+    _git("add", ".", cwd=repo)
+    _git(
+        "-c", "user.email=ci@example.invalid", "-c", "user.name=ci",
+        "commit", "-q", "-m", "seed", cwd=repo,
+    )
+    # Touch only the clean file: the dirty file's finding is out of scope.
+    clean.write_text('"""Doc."""\nx = 2\n')
+    scoped = _run_cli(str(pkg), "--changed")
+    assert scoped.returncode == 0, scoped.stdout + scoped.stderr
+    # Without --changed the same tree still fails.
+    full = _run_cli(str(pkg))
+    assert full.returncode == 1
+
+
+def test_cli_changed_falls_back_outside_git(tmp_path):
+    mod = tmp_path / "mod.py"
+    mod.write_text('"""Doc."""\nimport time\na = time.time()\n')
+    proc = _run_cli(str(tmp_path), "--changed")
+    assert proc.returncode == 1
+    assert "full tree" in proc.stderr
 
 
 def test_shipped_tree_is_lint_clean():

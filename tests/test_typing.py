@@ -15,7 +15,7 @@ import pytest
 
 REPO = Path(__file__).resolve().parents[1]
 
-STRICT_TARGETS = ["src/repro/sim", "src/repro/nic/costs.py"]
+STRICT_TARGETS = ["src/repro/sim", "src/repro/nic/costs.py", "src/repro/devtools"]
 
 
 @pytest.mark.skipif(
