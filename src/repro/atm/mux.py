@@ -5,17 +5,35 @@ cells draining at link rate.  When the FIFO is full, arriving cells are
 dropped (drop-tail) -- this is where correlated loss comes from in real
 switches.  A :class:`CellMultiplexer` funnels several upstream sources
 into one port.
+
+Two traffic-management behaviours hang off the queue depth (both off
+by default; see docs/TRAFFIC.md):
+
+- **EFCI marking** (*efci_threshold*): user cells admitted while the
+  queue sits at or above the threshold get their EFCI PTI bit set, the
+  forward-congestion signal ABR destinations fold into returned RM
+  cells;
+- **CLP-first discard** (*clp_threshold*, partial buffer sharing):
+  CLP=1 cells -- the ones a tagging UPC marked as outside contract --
+  are refused once the queue reaches the threshold, so under pressure
+  the tagged traffic dies first and committed traffic keeps the whole
+  buffer.  Both drop classes are itemised (``dropped_clp`` /
+  ``dropped_full``) so the conservation ledger stays balanced.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional
+from typing import Deque, Dict, Optional
 
+from repro.atm.addressing import VcAddress
 from repro.atm.cell import AtmCell
 from repro.atm.link import PhysicalLink
 from repro.sim.core import Simulator
 from repro.sim.monitor import Counter, TimeWeightedStat
+
+#: PTI bit 1: EFCI, "congestion experienced", on user cells.
+_EFCI_BIT = 0b010
 
 
 class OutputPort:
@@ -24,7 +42,9 @@ class OutputPort:
     The drain process is event-driven: whenever the queue becomes
     non-empty a serialization is started, and each serialization's
     completion pulls the next cell.  Occupancy is tracked time-weighted
-    so buffer-sizing experiments read the mean/max directly.
+    so buffer-sizing experiments read the mean/max directly, and
+    per-VC tallies expose who is queueing (and who is losing) for
+    fairness analysis.
     """
 
     def __init__(
@@ -33,20 +53,43 @@ class OutputPort:
         link: PhysicalLink,
         buffer_cells: Optional[int] = None,
         name: str = "port",
+        efci_threshold: Optional[int] = None,
+        clp_threshold: Optional[int] = None,
     ) -> None:
         if buffer_cells is not None and buffer_cells < 1:
             raise ValueError("buffer_cells must be >= 1 or None (unbounded)")
+        if efci_threshold is not None and efci_threshold < 0:
+            raise ValueError("efci_threshold must be >= 0")
+        if clp_threshold is not None and clp_threshold < 1:
+            raise ValueError("clp_threshold must be >= 1")
         self.sim = sim
         self.link = link
         self.buffer_cells = buffer_cells
         self.name = name
+        self.efci_threshold = efci_threshold
+        self.clp_threshold = clp_threshold
         self._queue: Deque[AtmCell] = deque()
         self._draining = False
         self.enqueued = Counter(f"{name}.enqueued")
         self.dropped = Counter(f"{name}.dropped")
+        #: CLP=1 cells refused at/above the CLP threshold (or when full).
+        self.dropped_clp = Counter(f"{name}.dropped-clp")
+        #: CLP=0 cells tail-dropped by a full buffer.
+        self.dropped_full = Counter(f"{name}.dropped-full")
+        self.efci_marked = Counter(f"{name}.efci")
         self.occupancy = TimeWeightedStat(sim.now, 0)
+        self._vc_enqueued: Dict[VcAddress, int] = {}
+        self._vc_dropped: Dict[VcAddress, int] = {}
+        self._vc_queued: Dict[VcAddress, int] = {}
+        #: Observability hook (repro.obs): a TraceRecorder, or None.
+        self.trace = None
 
     def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def backlog(self) -> int:
+        """Cells sitting in the buffer right now."""
         return len(self._queue)
 
     @property
@@ -56,13 +99,57 @@ class OutputPort:
             and len(self._queue) >= self.buffer_cells
         )
 
+    def _clp_pressure(self) -> bool:
+        """True when CLP=1 arrivals must be refused (partial buffer
+        sharing: tagged cells only get the buffer below the threshold)."""
+        if self.clp_threshold is not None:
+            return len(self._queue) >= self.clp_threshold
+        return self.is_full
+
+    def _drop(self, cell: AtmCell, vc: VcAddress, reason: str) -> bool:
+        self.dropped.increment()
+        self._vc_dropped[vc] = self._vc_dropped.get(vc, 0) + 1
+        if reason == "clp":
+            self.dropped_clp.increment()
+            if self.trace is not None:
+                self.trace.emit(
+                    "cell.drop", actor=self.name, cell=cell, reason="clp"
+                )
+        else:
+            self.dropped_full.increment()
+            if self.trace is not None:
+                self.trace.emit(
+                    "cell.drop", actor=self.name, cell=cell, reason="port_full"
+                )
+        return False
+
     def offer(self, cell: AtmCell) -> bool:
-        """Accept *cell* into the FIFO, or drop it if full."""
+        """Accept *cell* into the FIFO, or drop it if full.
+
+        Drop order under pressure: CLP=1 cells go first (at the CLP
+        threshold), then everything tail-drops at the hard limit.
+        """
+        vc = VcAddress(cell.vpi, cell.vci)
+        if cell.clp and self._clp_pressure():
+            return self._drop(cell, vc, "clp")
         if self.is_full:
-            self.dropped.increment()
-            return False
+            return self._drop(cell, vc, "port_full")
+        if (
+            self.efci_threshold is not None
+            and cell.is_user_cell
+            and not cell.congestion_experienced
+            and len(self._queue) >= self.efci_threshold
+        ):
+            marked = cell.with_header(pti=cell.pti | _EFCI_BIT)
+            marked.meta.update(cell.meta)
+            self.efci_marked.increment()
+            if self.trace is not None:
+                self.trace.emit("port.efci", actor=self.name, cell=marked)
+            cell = marked
         self._queue.append(cell)
         self.enqueued.increment()
+        self._vc_enqueued[vc] = self._vc_enqueued.get(vc, 0) + 1
+        self._vc_queued[vc] = self._vc_queued.get(vc, 0) + 1
         self.occupancy.record(self.sim.now, len(self._queue))
         if not self._draining:
             self._drain_next()
@@ -77,14 +164,40 @@ class OutputPort:
             return
         self._draining = True
         cell = self._queue.popleft()
+        vc = VcAddress(cell.vpi, cell.vci)
+        queued = self._vc_queued.get(vc, 0)
+        if queued > 1:
+            self._vc_queued[vc] = queued - 1
+        else:
+            self._vc_queued.pop(vc, None)
         self.occupancy.record(self.sim.now, len(self._queue))
         done = self.link.send(cell)
         done.add_callback(lambda _ev: self._drain_next())
+
+    # -- observability ---------------------------------------------------------
 
     @property
     def loss_ratio(self) -> float:
         offered = self.enqueued.count + self.dropped.count
         return self.dropped.count / offered if offered else 0.0
+
+    def occupancy_of(self, vc: VcAddress) -> int:
+        """Cells of *vc* sitting in the buffer right now."""
+        return self._vc_queued.get(vc, 0)
+
+    def occupancy_by_vc(self) -> Dict[VcAddress, int]:
+        """Current buffer occupancy itemised by VC."""
+        return dict(self._vc_queued)
+
+    def loss_ratio_by_vc(self) -> Dict[VcAddress, float]:
+        """Per-VC drop fraction, for fairness analysis."""
+        ratios: Dict[VcAddress, float] = {}
+        for vc in set(self._vc_enqueued) | set(self._vc_dropped):
+            accepted = self._vc_enqueued.get(vc, 0)
+            lost = self._vc_dropped.get(vc, 0)
+            offered = accepted + lost
+            ratios[vc] = lost / offered if offered else 0.0
+        return ratios
 
 
 class CellMultiplexer:

@@ -23,25 +23,45 @@ from repro.sim.monitor import Counter
 
 
 class Gcra:
-    """Virtual-scheduling GCRA(T, tau) conformance checker."""
+    """Virtual-scheduling GCRA(T, tau) conformance checker.
 
-    def __init__(self, increment: float, tolerance: float = 0.0) -> None:
+    Two UPC actions are supported for violating cells (I.371 gives the
+    operator the choice): *drop* (the default -- :meth:`police` returns
+    None) or *tag* (``tag_nonconforming=True`` -- the cell survives with
+    CLP set to 1, so a downstream output port under pressure discards it
+    first; see :class:`repro.atm.mux.OutputPort`).
+    """
+
+    def __init__(
+        self,
+        increment: float,
+        tolerance: float = 0.0,
+        tag_nonconforming: bool = False,
+    ) -> None:
         if increment <= 0:
             raise ValueError("GCRA increment T must be positive")
         if tolerance < 0:
             raise ValueError("GCRA tolerance tau must be >= 0")
         self.increment = increment
         self.tolerance = tolerance
+        self.tag_nonconforming = tag_nonconforming
         self._tat: Optional[float] = None
         self.conforming = 0
         self.violating = 0
+        #: Violating cells passed on with CLP=1 (tag mode only).
+        self.tagged = 0
 
     @classmethod
-    def for_rate(cls, cells_per_second: float, tolerance: float = 0.0) -> "Gcra":
+    def for_rate(
+        cls,
+        cells_per_second: float,
+        tolerance: float = 0.0,
+        tag_nonconforming: bool = False,
+    ) -> "Gcra":
         """GCRA policing a peak cell rate."""
         if cells_per_second <= 0:
             raise ValueError("cell rate must be positive")
-        return cls(1.0 / cells_per_second, tolerance)
+        return cls(1.0 / cells_per_second, tolerance, tag_nonconforming)
 
     def conforms(self, arrival_time: float) -> bool:
         """Check one arrival, updating state only for conforming cells."""
@@ -56,6 +76,23 @@ class Gcra:
             return True
         self.violating += 1
         return False
+
+    def police(self, cell: AtmCell, arrival_time: float) -> Optional[AtmCell]:
+        """Apply the UPC action to one arriving cell.
+
+        Conforming cells come back unchanged.  Violating cells come
+        back CLP-tagged in tag mode, or as None (drop) otherwise.
+        """
+        if self.conforms(arrival_time):
+            return cell
+        if not self.tag_nonconforming:
+            return None
+        self.tagged += 1
+        if cell.clp:
+            return cell
+        tagged = cell.with_header(clp=1)
+        tagged.meta.update(cell.meta)
+        return tagged
 
     @property
     def violation_ratio(self) -> float:

@@ -231,6 +231,10 @@ class SignallingAgent:
         #: Fired with the Call whenever one becomes ACTIVE (either
         #: side) -- the recovery plane uses it to protect the VC.
         self.on_call_active: Optional[Callable[[Call], None]] = None
+        #: Fired with the Call whenever one clears (graceful handshake
+        #: or timer-forced) -- admission control uses it to drain the
+        #: booked budgets (see repro.tm.cac).
+        self.on_call_released: Optional[Callable[[Call], None]] = None
 
         self._open_signalling_channel()
 
@@ -390,6 +394,8 @@ class SignallingAgent:
         self._emit("sig.call.timeout", message="RELEASE", call_ref=call.call_ref)
         if call.address is not None and call.address in self.interface.vc_table:
             self.interface.close_vc(call.address)
+        if self.on_call_released is not None:
+            self.on_call_released(call)
         if call.released is not None and not call.released.triggered:
             call.released.trigger(None)
 
@@ -470,6 +476,8 @@ class SignallingAgent:
             call.state = CallState.RELEASED
             if call.address is not None and call.address in self.interface.vc_table:
                 self.interface.close_vc(call.address)
+            if self.on_call_released is not None:
+                self.on_call_released(call)
             if call.released is not None and not call.released.triggered:
                 call.released.trigger(None)
         self._send(
@@ -488,6 +496,8 @@ class SignallingAgent:
         call.state = CallState.RELEASED
         if call.address is not None and call.address in self.interface.vc_table:
             self.interface.close_vc(call.address)
+        if self.on_call_released is not None:
+            self.on_call_released(call)
         if call.released is not None and not call.released.triggered:
             call.released.trigger(None)
 

@@ -67,6 +67,10 @@ class AtmSwitch:
         self._routes: Dict[Tuple[int, VcAddress], List[RoutingEntry]] = {}
         self.cells_switched = Counter(f"{name}.switched")
         self.cells_unroutable = Counter(f"{name}.unroutable")
+        #: Traffic-management hook (repro.tm.erica): an object with an
+        #: ``on_cell(port, cell) -> cell`` method sees every transiting
+        #: cell after translation and may substitute it (ER stamping).
+        self.tm = None
 
     def input(self, port: int) -> _InputAdapter:
         """A cell sink representing input port *port*."""
@@ -107,6 +111,10 @@ class AtmSwitch:
             translated = cell.with_header(vpi=entry.out_vpi, vci=entry.out_vci)
             translated.meta.update(cell.meta)
             self.cells_switched.increment()
+            if self.tm is not None:
+                translated = self.tm.on_cell(
+                    self.output_ports[entry.out_port], translated
+                )
             if self.fabric_delay > 0:
                 self.sim.schedule_call(
                     self.fabric_delay,

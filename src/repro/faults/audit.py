@@ -80,6 +80,17 @@ class ConservationLedger:
     no_host_buffer: int = 0
     #: PDU completed, DMA still in flight.
     dma_in_flight: int = 0
+    # -- mid-network buckets (zero unless switches/ports sit on the path) --
+    #: CLP=1 cells discarded first under output-port pressure.
+    clp_discarded: int = 0
+    #: Tail-dropped by a full output-port buffer.
+    port_full_discarded: int = 0
+    #: Sitting in output-port buffers right now.
+    port_queued: int = 0
+    #: Inside a switch fabric (fabric delay still pending).
+    fabric_in_flight: int = 0
+    #: Arrived at a switch with no routing entry.
+    unroutable: int = 0
 
     @property
     def accounted(self) -> int:
@@ -99,6 +110,11 @@ class ConservationLedger:
             + self.reassembly_open
             + self.delivered
             + self.orphaned
+            + self.clp_discarded
+            + self.port_full_discarded
+            + self.port_queued
+            + self.fabric_in_flight
+            + self.unroutable
             + sum(self.discarded_by.values())
         )
 
@@ -128,6 +144,11 @@ class ConservationLedger:
             "reassembly_open": self.reassembly_open,
             "delivered": self.delivered,
             "orphaned": self.orphaned,
+            "clp_discarded": self.clp_discarded,
+            "port_full_discarded": self.port_full_discarded,
+            "port_queued": self.port_queued,
+            "fabric_in_flight": self.fabric_in_flight,
+            "unroutable": self.unroutable,
         }
         for why, cells in sorted(self.discarded_by.items()):
             flat[f"reassembly_{why}"] = cells
@@ -150,11 +171,29 @@ class CellConservationAuditor:
     Wire it to the forward link and the receiving interface of any
     testbed; :meth:`snapshot` is pure observation (no state is
     modified), so it can be called mid-run as often as wanted.
+
+    Multi-hop paths are audited by naming the intermediate stages:
+    *switches* and their contended output *ports* contribute the
+    fabric/port buckets, and *extra_links* are the downstream hops
+    (the port-to-receiver wires), whose losses and in-flight cells
+    aggregate with the entry link's.  The entry link stays the
+    offered-side truth; a port's pop feeds its downstream link
+    synchronously, so no cells hide between a port and its wire.
     """
 
-    def __init__(self, link: PhysicalLink, receiver) -> None:
+    def __init__(
+        self,
+        link: PhysicalLink,
+        receiver,
+        switches=(),
+        ports=(),
+        extra_links=(),
+    ) -> None:
         self.link = link
         self.receiver = receiver
+        self.switches = tuple(switches)
+        self.ports = tuple(ports)
+        self.extra_links = tuple(extra_links)
 
     def snapshot(self) -> ConservationLedger:
         """Read every counter and assemble the instant's ledger."""
@@ -166,6 +205,20 @@ class CellConservationAuditor:
         offered = link.cells_sent.count
         lost = link.cells_lost.count
         wire = offered - lost - link.cells_delivered.count
+        for hop in self.extra_links:
+            hop_lost = hop.cells_lost.count
+            lost += hop_lost
+            wire += hop.cells_sent.count - hop_lost - hop.cells_delivered.count
+
+        unroutable = sum(
+            sw.cells_unroutable.count for sw in self.switches
+        )
+        fabric = sum(sw.cells_switched.count for sw in self.switches) - sum(
+            port.enqueued.count + port.dropped.count for port in self.ports
+        )
+        clp_discarded = sum(port.dropped_clp.count for port in self.ports)
+        port_full = sum(port.dropped_full.count for port in self.ports)
+        port_queued = sum(port.backlog for port in self.ports)
 
         consumed_splits = (
             rx.oam_cells.count
@@ -202,6 +255,11 @@ class CellConservationAuditor:
             to_host=to_host,
             no_host_buffer=no_host,
             dma_in_flight=delivered - to_host - no_host,
+            clp_discarded=clp_discarded,
+            port_full_discarded=port_full,
+            port_queued=port_queued,
+            fabric_in_flight=fabric,
+            unroutable=unroutable,
         )
 
     def assert_conserved(self) -> ConservationLedger:

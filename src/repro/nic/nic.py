@@ -34,6 +34,7 @@ from repro.atm.oam import (
     OamFormatError,
     decode_oam,
 )
+from repro.atm.cell import PTI_RESOURCE_MGMT
 from repro.atm.link import LinkSpec, PhysicalLink
 from repro.atm.vc import ServiceClass, VcTable, VirtualConnection
 from repro.aal.interface import ReassemblyFailure
@@ -183,6 +184,10 @@ class HostNetworkInterface:
         #: these): called with the decoded AlarmCell / ContinuityCell.
         self.on_alarm: Optional[Callable[[AlarmCell], None]] = None
         self.on_cc: Optional[Callable[[ContinuityCell], None]] = None
+        #: Traffic-management hook (duck-typed; an AbrAgent installs
+        #: this): called with each raw resource-management cell (PTI 6)
+        #: before OAM decoding is attempted.
+        self.on_rm: Optional[Callable] = None
         self.reassembly_timers = ReassemblyTimerWheel(
             sim,
             timeout=config.reassembly_timeout,
@@ -389,6 +394,12 @@ class HostNetworkInterface:
         yield self.tx_fifo.put(cell)
 
     def _handle_oam(self, cell) -> None:
+        if cell.pti == PTI_RESOURCE_MGMT:
+            # RM cells share the management lane but carry rate-control
+            # state, not OAM PDUs; hand them to the ABR agent (if any).
+            if self.on_rm is not None:
+                self.on_rm(cell)
+            return
         try:
             pdu = decode_oam(cell)
         except OamFormatError:

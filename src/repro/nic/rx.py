@@ -154,6 +154,10 @@ class RxEngine:
         #: Called with each management (OAM) cell; the owner implements
         #: the loopback function.
         self.on_oam: Optional[Callable[[AtmCell], None]] = None
+        #: Called with each admitted user cell right after SAR charging,
+        #: before reassembly.  ABR destinations (repro.tm.abr) watch the
+        #: EFCI bit here to fold congestion into returned RM cells.
+        self.on_user_cell: Optional[Callable[[AtmCell], None]] = None
         self.cells_received = Counter(f"{name}.cells")
         self.oam_cells = Counter(f"{name}.oam-cells")
         self.cells_unknown_vc = Counter(f"{name}.unknown-vc")
@@ -438,6 +442,8 @@ class RxEngine:
                 cell=cell,
                 position=position.value,
             )
+        if self.on_user_cell is not None:
+            self.on_user_cell(cell)
 
         # Payload into adaptor buffer memory; exhaustion loses the
         # cell exactly like network loss would.
@@ -592,6 +598,8 @@ class RxEngine:
                     position=position.value,
                     ts=end,
                 )
+            if self.on_user_cell is not None:
+                self.on_user_cell(cell)
 
             if not bufmem.grow(("rx", vc), 1):
                 self.cells_no_buffer.increment()

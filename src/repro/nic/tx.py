@@ -43,12 +43,16 @@ PATH_PAIRS = [
         "scalar_only": [
             "stat:TxEngine.pacing_stalls.increment",
             "event:tx.cell.paced",
+            "stat:AbrAgent.rm_sent.increment",
+            "event:rm.cell.sent",
         ],
         "burst_only": ["event:burst.form"],
         "why": (
             "pacing never rides the burst lane (the fast path handles "
-            "unpaced VCs only); bursts announce their formation with "
-            "one burst.form per chunk"
+            "unpaced VCs only), and ABR VCs are always paced -- their "
+            "dynamic ACR interval forces the scalar lane, so the RM "
+            "interleave is scalar-only by construction; bursts announce "
+            "their formation with one burst.form per chunk"
         ),
     },
 ]
@@ -83,6 +87,12 @@ class TxEngine:
         #: to the contract so the network's GCRA policer sees conforming
         #: traffic (see repro.atm.policing).
         self.rate_of = rate_of
+        #: Closed-loop rate control hook (repro.tm.abr): an AbrAgent, or
+        #: None.  When set, VCs registered with the agent pace at their
+        #: dynamic allowed cell rate instead of the static contract, and
+        #: the engine interleaves the agent's forward RM cells into the
+        #: stream.  Duck-typed -- the NIC package never imports repro.tm.
+        self.abr = None
         self.name = name
         self._segmenters: Dict[VcAddress, object] = {}
         self._next_slot: Dict[VcAddress, float] = {}
@@ -108,7 +118,16 @@ class TxEngine:
             self._process = self.sim.process(self._loop())
 
     def _pacing_interval(self, vc: VcAddress) -> Optional[float]:
-        """Seconds between cells for a rate-contracted VC, else None."""
+        """Seconds between cells for a rate-contracted VC, else None.
+
+        ABR VCs pace at the agent's current allowed cell rate, which
+        moves between MCR and PCR as RM feedback arrives; other VCs fall
+        back to the static peak-rate contract.
+        """
+        if self.abr is not None:
+            interval = self.abr.interval_of(vc)
+            if interval is not None:
+                return interval
         if self.rate_of is None:
             return None
         peak_bps = self.rate_of(vc)
@@ -236,6 +255,12 @@ class TxEngine:
                 # firmware loop stalls on the pacer, so one heavily
                 # shaped VC delays others behind it in the ring --
                 # faithful to the era's in-order designs.
+                if self.abr is not None:
+                    # ABR rates move mid-PDU as RM feedback returns;
+                    # re-read so each cell paces at the current ACR.
+                    dynamic = self.abr.interval_of(descriptor.vc)
+                    if dynamic is not None:
+                        cell_interval = dynamic
                 slot = self._next_slot.get(descriptor.vc, 0.0)
                 if self.sim.now < slot:
                     self.pacing_stalls.increment()
@@ -264,6 +289,14 @@ class TxEngine:
                 )
             yield self.fifo.put(cell)
             self.cells_sent.increment()
+            if self.abr is not None:
+                # Every Nrm-th data cell is chased by a forward RM cell
+                # carrying the source's CCR; the agent builds it (or
+                # returns None between probes).  RM cells ride the same
+                # FIFO so they serialize in-order with the data.
+                rm_cell = self.abr.data_cell_sent(descriptor.vc)
+                if rm_cell is not None:
+                    yield self.fifo.put(rm_cell)
 
     def _emit_cells_fast(self, descriptor: TxDescriptor, cells):
         """Fast-path segmentation: pre-announced bursts into the FIFO.

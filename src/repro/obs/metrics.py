@@ -436,6 +436,132 @@ def instrument_signalling(
         )
 
 
+def instrument_port(
+    registry: MetricsRegistry, port, prefix: Optional[str] = None
+) -> None:
+    """Expose an :class:`repro.atm.mux.OutputPort`'s queue accounting.
+
+    Covers the itemised drop classes (CLP-first vs tail), the EFCI
+    marking counter, the instantaneous backlog, and the per-VC
+    occupancy/loss breakdowns the fairness analyses read.
+    """
+    p = f"{prefix or port.name}."
+    for name, counter, description in (
+        ("enqueued", port.enqueued, "cells admitted to the buffer"),
+        ("dropped", port.dropped, "cells refused (all causes)"),
+        ("dropped_clp", port.dropped_clp, "CLP=1 cells refused at threshold"),
+        ("dropped_full", port.dropped_full, "cells tail-dropped when full"),
+        ("efci_marked", port.efci_marked, "user cells EFCI-marked"),
+    ):
+        registry.counter(
+            p + name,
+            (lambda c: lambda: c.count)(counter),
+            unit="cells",
+            description=description,
+        )
+    registry.gauge(
+        p + "backlog",
+        lambda: port.backlog,
+        unit="cells",
+        description="cells sitting in the buffer right now",
+    )
+    registry.gauge(
+        p + "loss_ratio",
+        lambda: port.loss_ratio,
+        unit="fraction",
+        description="dropped / offered since start",
+    )
+    registry.histogram(
+        p + "occupancy_by_vc",
+        lambda: {str(vc): n for vc, n in sorted(port.occupancy_by_vc().items())},
+        unit="cells",
+        description="current buffer occupancy itemised by VC",
+    )
+    registry.histogram(
+        p + "loss_ratio_by_vc",
+        lambda: {str(vc): r for vc, r in sorted(port.loss_ratio_by_vc().items())},
+        unit="fraction",
+        description="per-VC drop fraction",
+    )
+
+
+def instrument_abr(
+    registry: MetricsRegistry, agent, prefix: Optional[str] = None
+) -> None:
+    """Expose an :class:`repro.tm.abr.AbrAgent`'s control-loop counters."""
+    p = f"{prefix or agent.name}."
+    for name, description in (
+        ("rm_sent", "forward RM cells generated"),
+        ("rm_received", "RM cells consumed off the management lane"),
+        ("rm_turnaround", "forward RM cells turned around"),
+        ("rm_bad", "RM cells rejected by the codec"),
+        ("rate_increases", "ACR additive increases applied"),
+        ("rate_decreases", "ACR decreases applied"),
+    ):
+        registry.counter(
+            p + name,
+            (lambda n: lambda: getattr(agent, n).count)(name),
+            unit="events",
+            description=description,
+        )
+
+
+def instrument_erica(
+    registry: MetricsRegistry, allocator, prefix: Optional[str] = None
+) -> None:
+    """Expose an :class:`repro.tm.erica.EricaAllocator`'s counters."""
+    p = f"{prefix or allocator.name}."
+    registry.counter(
+        p + "rm_seen",
+        lambda: allocator.rm_seen.count,
+        unit="cells",
+        description="RM cells inspected in transit",
+    )
+    registry.counter(
+        p + "rm_stamped",
+        lambda: allocator.rm_stamped.count,
+        unit="cells",
+        description="forward RM cells whose ER was reduced",
+    )
+
+
+def instrument_cac(
+    registry: MetricsRegistry, cac, prefix: Optional[str] = None
+) -> None:
+    """Expose a :class:`repro.tm.cac.CallAdmissionController`'s books."""
+    p = f"{prefix or cac.name}."
+    registry.counter(
+        p + "admitted",
+        lambda: cac.calls_admitted.count,
+        unit="calls",
+        description="SETUPs admitted against the budgets",
+    )
+    registry.counter(
+        p + "rejected",
+        lambda: cac.calls_rejected.count,
+        unit="calls",
+        description="SETUPs refused (see the rejections histogram)",
+    )
+    registry.gauge(
+        p + "booked_peak",
+        lambda: cac.booked_peak,
+        unit="cells/s",
+        description="peak rate booked on the tightest link",
+    )
+    registry.gauge(
+        p + "headroom",
+        lambda: cac.headroom(),
+        unit="cells/s",
+        description="peak rate still admittable on every link",
+    )
+    registry.histogram(
+        p + "rejections",
+        lambda: dict(cac.rejections),
+        unit="calls",
+        description="rejections itemised by reason code",
+    )
+
+
 def instrument_executor(
     registry: MetricsRegistry, executor, prefix: str = "runner."
 ) -> None:

@@ -30,9 +30,12 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.obs.metrics import (
     MetricsRegistry,
+    instrument_abr,
     instrument_auditor,
+    instrument_erica,
     instrument_interface,
     instrument_link,
+    instrument_port,
     instrument_signalling,
     instrument_supervisor,
 )
@@ -315,6 +318,118 @@ def _build_r2(
     return duration
 
 
+def _build_c1(
+    run: TracedRun,
+    n_sources: int = 3,
+    buffer_cells: int = 256,
+    efci_threshold: int = 64,
+    sdu_size: int = 1528,
+    seed: int = 1,
+) -> float:
+    """C1's closed-loop arm: ABR sources converging at a bottleneck."""
+    from repro.atm.addressing import VcAddress
+    from repro.atm.link import PhysicalLink
+    from repro.atm.mux import OutputPort
+    from repro.atm.switch import AtmSwitch, RoutingEntry
+    from repro.nic.config import aurora_oc3
+    from repro.nic.nic import HostNetworkInterface
+    from repro.sim.random import RandomStreams
+    from repro.tm.abr import AbrAgent, AbrParams
+    from repro.tm.erica import EricaAllocator
+    from repro.tm.experiment import C1_TARGET_UTILIZATION
+    from repro.workloads.generators import GreedySource
+
+    sim = run.sim
+    streams = RandomStreams(seed)
+    cfg = aurora_oc3()
+    spec = cfg.link
+    weights = {VcAddress(0, 32 + i): i + 1 for i in range(n_sources)}
+    vcs = sorted(weights, key=lambda vc: vc.vci)
+
+    sources = [
+        HostNetworkInterface(sim, cfg, name=f"s{i}") for i in range(n_sources)
+    ]
+    dest = HostNetworkInterface(sim, cfg, name="d")
+
+    to_dest = PhysicalLink(sim, spec, sink=dest.rx_input, name="sw2->d")
+    egress = OutputPort(sim, to_dest, name="p-egress")
+    return_ports = []
+    for i, source in enumerate(sources):
+        back = PhysicalLink(sim, spec, sink=source.rx_input, name=f"sw2->s{i}")
+        return_ports.append(OutputPort(sim, back, name=f"p-ret{i}"))
+    sw2 = AtmSwitch(sim, [egress] + return_ports, name="sw2")
+    mid = PhysicalLink(sim, spec, sink=sw2.input(0), name="sw1->sw2")
+    bottleneck = OutputPort(
+        sim,
+        mid,
+        buffer_cells=buffer_cells,
+        name="bottleneck",
+        efci_threshold=efci_threshold,
+    )
+    sw1 = AtmSwitch(sim, [bottleneck], name="sw1")
+    for i, source in enumerate(sources):
+        access = PhysicalLink(sim, spec, sink=sw1.input(i), name=f"s{i}->sw1")
+        source.attach_tx_link(access)
+        access.trace = run.recorder
+    return_in = PhysicalLink(sim, spec, sink=sw2.input(n_sources), name="d->sw2")
+    dest.attach_tx_link(return_in)
+
+    for i, vc in enumerate(vcs):
+        sw1.add_route(i, vc, RoutingEntry(0, vc.vpi, vc.vci))
+        sw2.add_route(0, vc, RoutingEntry(0, vc.vpi, vc.vci))
+        sw2.add_route(n_sources, vc, RoutingEntry(1 + i, vc.vpi, vc.vci))
+        sources[i].open_vc(address=vc)
+        dest.open_vc(address=vc)
+
+    erica = EricaAllocator(
+        sim,
+        sw1,
+        target_utilization=C1_TARGET_UTILIZATION,
+        weight_of=weights.get,
+    )
+    dest_agent = AbrAgent(sim, dest)
+    params = AbrParams(
+        pcr=spec.cell_rate,
+        icr=spec.cell_rate / 16.0,
+        rif=1.0 / 32.0,
+        rdf=1.0 / 16.0,
+    )
+    agents = []
+    for i, vc in enumerate(vcs):
+        agent = AbrAgent(sim, sources[i])
+        agent.add_vc(vc, params)
+        agents.append(agent)
+
+    _instrument_pair(run, *sources, dest)
+    mid.trace = run.recorder
+    to_dest.trace = run.recorder
+    instrument_link(run.registry, mid, prefix="mid.")
+    bottleneck.trace = run.recorder
+    instrument_port(run.registry, bottleneck, prefix="bottleneck.")
+    erica.trace = run.recorder
+    instrument_erica(run.registry, erica)
+    for agent in agents + [dest_agent]:
+        agent.trace = run.recorder
+        instrument_abr(run.registry, agent)
+
+    start_rng = streams.stream("c1.start")
+    for i, vc in enumerate(vcs):
+        source = GreedySource(sim, sources[i], vc, sdu_size, name=f"greedy{i}")
+        sim.schedule_call(start_rng.uniform(0.0, 2e-3), source.start)
+    dest.start()
+
+    run.title = (
+        f"{n_sources} weighted ABR sources at an OC-3 bottleneck "
+        "(C1's closed-loop arm)"
+    )
+    run.notes.append(
+        "watch rm.cell.sent / rm.cell.marked / rm.cell.turnaround / "
+        "abr.rate.update / port.efci: the explicit-rate loop closing "
+        "around the bottleneck queue"
+    )
+    return 0.01
+
+
 def _build_quickstart(run: TracedRun, sdu_size: int = 4096) -> float:
     """The examples/quickstart.py exchange, instrumented end to end."""
     from repro.nic.config import aurora_oc3
@@ -342,6 +457,7 @@ TRACEABLE: Dict[str, Tuple[Callable[[TracedRun], float], str]] = {
     "f3": (_build_f3, "backpressured receive path (F3's scenario)"),
     "r1": (_build_r1, "lossy overload with frame discard (R1's scenario)"),
     "r2": (_build_r2, "link-flap recovery plane (R2's recovery-on arm)"),
+    "c1": (_build_c1, "ABR bottleneck control loop (C1's closed-loop arm)"),
     "quickstart": (_build_quickstart, "the README quickstart exchange"),
 }
 

@@ -108,6 +108,14 @@ EVENT_TAXONOMY: Dict[str, str] = {
     "sig.retransmit": "signalling message retransmitted (type + attempt annotated)",
     "sig.call.timeout": "call abandoned after retry exhaustion",
     "sig.call.restored": "supervisor-driven re-establishment of an alarmed call",
+    # -- traffic management (repro.tm; see docs/TRAFFIC.md) ---------------
+    "rm.cell.sent": "ABR source emitted a forward RM cell (CCR annotated)",
+    "rm.cell.marked": "switch stamped an explicit rate into an RM cell",
+    "rm.cell.turnaround": "destination reflected a forward RM cell (CI annotated)",
+    "abr.rate.update": "ABR source adjusted its allowed cell rate",
+    "port.efci": "output port set EFCI on a user cell (queue pressure)",
+    "cac.admit": "call admission booked a SETUP's traffic contract",
+    "cac.reject": "call admission refused a SETUP (cause annotated)",
 }
 
 #: Every value the ``reason`` argument of a drop event can take.  The
@@ -133,6 +141,9 @@ DROP_REASONS: Dict[str, str] = {
     "timeout": "reassembly timer expired on a partial PDU",
     "no-context": "cell with no reassembly context",
     "quota": "context evicted to honour the context quota",
+    # traffic management (switch output ports; repro.tm)
+    "clp": "CLP=1 cell discarded first under output-port pressure",
+    "port_full": "output-port buffer full (tail drop)",
 }
 
 

@@ -1533,10 +1533,11 @@ def run_o1(duration: Optional[float] = None) -> ExperimentResult:
 # ---------------------------------------------------------------------------
 
 # R2 lives with the recovery plane it measures; P1 with the fast path
-# it benchmarks.  Both import ExperimentResult lazily, so these imports
-# cannot cycle.
+# it benchmarks; C1 with the traffic-management plane.  All import
+# ExperimentResult lazily, so these imports cannot cycle.
 from repro.resilience.experiment import run_r2  # noqa: E402
 from repro.results.perf import run_p1  # noqa: E402
+from repro.tm.experiment import run_c1  # noqa: E402
 
 EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
     "T1": run_t1,
@@ -1559,6 +1560,7 @@ EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
     "R2": run_r2,
     "O1": run_o1,
     "P1": run_p1,
+    "C1": run_c1,
 }
 
 

@@ -26,7 +26,7 @@ from repro.results.experiments import EXPERIMENTS, ExperimentResult
 from repro.runner.store import ResultStore, RunLog
 
 #: Experiments migrated onto the sweep runner (accept workers/store/log).
-SWEEP_IDS = frozenset({"F6", "T5", "F7", "R1", "R2"})
+SWEEP_IDS = frozenset({"F6", "T5", "F7", "R1", "R2", "C1"})
 
 #: Reduced parameters the bench gate runs each benched experiment with.
 #: Chosen so the whole gated set finishes in seconds while every
@@ -41,6 +41,7 @@ BENCH_KWARGS: Dict[str, Dict[str, Any]] = {
     # P1 defaults are already bench-sized (it is the perf benchmark);
     # the empty dict just opts it into the default gate set.
     "P1": {},
+    "C1": {"seeds": [1, 2], "duration": 0.06, "warmup": 0.02},
 }
 
 

@@ -1,0 +1,38 @@
+"""Traffic management: the closed-loop control plane over the data path.
+
+The package adds TM 4.0's four cooperating mechanisms to the
+reproduction (docs/TRAFFIC.md):
+
+- :mod:`repro.tm.rm` -- the resource-management cell codec ABR's
+  feedback loop rides on;
+- :mod:`repro.tm.abr` -- source/destination end-system behaviour
+  (dynamic ACR pacing, RM interleave, EFCI observation, turnaround);
+- :mod:`repro.tm.erica` -- per-port explicit-rate allocation inside
+  the switch;
+- :mod:`repro.tm.cac` -- call admission against per-link contract
+  budgets;
+- :mod:`repro.tm.sched` -- weighted-round-robin transmit scheduling;
+- :mod:`repro.tm.experiment` -- C1, the closed-loop vs open-loop
+  bottleneck experiment.
+"""
+
+from repro.tm.abr import AbrAgent, AbrParams
+from repro.tm.cac import CacReject, CallAdmissionController
+from repro.tm.erica import EricaAllocator
+from repro.tm.rm import RM_PROTOCOL_ID, RmCell, RmFormatError, is_rm_cell
+from repro.tm.sched import WeightedRoundRobin, WrrTxQueue, install_wrr
+
+__all__ = [
+    "AbrAgent",
+    "AbrParams",
+    "CacReject",
+    "CallAdmissionController",
+    "EricaAllocator",
+    "RM_PROTOCOL_ID",
+    "RmCell",
+    "RmFormatError",
+    "is_rm_cell",
+    "WeightedRoundRobin",
+    "WrrTxQueue",
+    "install_wrr",
+]

@@ -18,6 +18,14 @@ EVENT_TAXONOMY = {
     "oam.alarm.raised": "a defect started repeating alarm cells",
     "link.supervisor.state": "the supervised link changed state",
     "sig.retransmit": "a signalling message was re-sent on backoff",
+    # Traffic-management mirror: the corpus twin of the real taxonomy's
+    # rm.*/abr.*/port.*/cac.* family, exercised by tm_events.py.
+    "rm.cell.sent": "an ABR source emitted a forward RM cell",
+    "rm.cell.marked": "a switch stamped an explicit rate in transit",
+    "rm.cell.turnaround": "a destination reflected a forward RM cell",
+    "abr.rate.update": "an ABR source moved its allowed cell rate",
+    "port.efci": "an output port set EFCI under queue pressure",
+    "cac.reject": "call admission refused a traffic contract",
 }
 
 DROP_REASONS = {

@@ -318,3 +318,156 @@ class TestSchedulerEquivalence:
             )
         )
         assert wheel == reference
+
+
+class TestGcraAgainstReference:
+    """The virtual-scheduling GCRA agrees verdict-for-verdict with the
+    continuous-state leaky-bucket formulation, for any arrival pattern
+    and any (T, tau)."""
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        gaps=st.lists(
+            st.floats(
+                min_value=0.0,
+                max_value=5e-3,
+                allow_nan=False,
+                allow_infinity=False,
+            ),
+            max_size=50,
+        ),
+        increment=st.floats(min_value=1e-5, max_value=1e-2),
+        tolerance=st.floats(min_value=0.0, max_value=5e-3),
+    )
+    def test_verdicts_match_leaky_bucket(self, gaps, increment, tolerance):
+        from repro.atm import Gcra
+
+        gcra = Gcra(increment=increment, tolerance=tolerance)
+
+        # Independent reference: I.371's continuous-state leaky bucket.
+        bucket = 0.0
+        last_conforming = None
+        arrivals = []
+        t = 0.0
+        for gap in gaps:
+            t += gap
+            arrivals.append(t)
+
+        for arrival in arrivals:
+            if last_conforming is None:
+                drained = 0.0
+            else:
+                drained = max(0.0, bucket - (arrival - last_conforming))
+            expected = drained <= tolerance + 1e-12
+            if expected:
+                bucket = drained + increment
+                last_conforming = arrival
+            assert gcra.conforms(arrival) == expected
+
+
+class TestShaperConformance:
+    """Whatever the offered pattern, the leaky-bucket shaper's output
+    stream conforms to the GCRA of its configured rate."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        batches=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=2e-3),  # inter-batch gap
+                st.integers(min_value=1, max_value=8),  # cells in the batch
+            ),
+            max_size=20,
+        ),
+        rate=st.sampled_from([1e3, 1e4, 353207.5]),
+    )
+    def test_output_never_violates_contract(self, batches, rate):
+        from repro.atm import AtmCell, Gcra, LeakyBucketShaper
+
+        sim = Simulator()
+        releases = []
+        shaper = LeakyBucketShaper(
+            sim, cells_per_second=rate, sink=lambda c: releases.append(sim.now)
+        )
+        offered = 0
+
+        def offer(count):
+            nonlocal offered
+            for _ in range(count):
+                shaper.offer(AtmCell(vpi=0, vci=100, payload=bytes(48)))
+                offered += 1
+
+        t = 0.0
+        for gap, count in batches:
+            t += gap
+            sim.schedule_call(t, offer, count)
+        sim.run()
+
+        assert len(releases) == offered  # unbounded queue: none dropped
+        gcra = Gcra.for_rate(rate, tolerance=1e-9)
+        assert all(gcra.conforms(when) for when in releases)
+
+
+class TestWrrInvariants:
+    """Work conservation and exact weight proportionality of the WRR
+    discipline, for any queue set and any backlog."""
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        ops=st.lists(
+            st.one_of(
+                st.tuples(st.just("push"), st.integers(0, 3)),
+                st.tuples(st.just("pop"), st.just(0)),
+            ),
+            max_size=80,
+        ),
+        weights=st.lists(st.integers(1, 5), min_size=4, max_size=4),
+    )
+    def test_work_conservation_and_item_conservation(self, ops, weights):
+        from repro.tm import WeightedRoundRobin
+
+        wrr = WeightedRoundRobin()
+        for key, weight in enumerate(weights):
+            wrr.add_queue(key, weight)
+        pushed = []
+        popped = []
+        for op, key in ops:
+            if op == "push":
+                item = (key, len(pushed))
+                pushed.append(item)
+                wrr.push(key, item)
+            else:
+                item = wrr.pop()
+                # Work conserving: pop yields iff anything is queued.
+                assert (item is None) == (
+                    len(pushed) == len(popped)
+                )
+                if item is not None:
+                    popped.append(item)
+        assert len(wrr) == len(pushed) - len(popped)
+        # Nothing lost, nothing duplicated, FIFO within each queue.
+        remaining = []
+        while len(wrr):
+            remaining.append(wrr.pop())
+        assert sorted(popped + remaining) == sorted(pushed)
+        for key in range(len(weights)):
+            served_items = [i for i in popped if i[0] == key]
+            assert served_items == sorted(served_items, key=lambda i: i[1])
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        weights=st.lists(st.integers(1, 6), min_size=2, max_size=5),
+        rounds=st.integers(1, 4),
+    )
+    def test_exact_weight_proportionality_under_backlog(self, weights, rounds):
+        from repro.tm import WeightedRoundRobin
+
+        wrr = WeightedRoundRobin()
+        for key, weight in enumerate(weights):
+            wrr.add_queue(key, weight)
+            for i in range(weight * rounds + 3):
+                wrr.push(key, (key, i))
+        for _ in range(rounds * sum(weights)):
+            assert wrr.pop() is not None
+        # Continuous backlog: service counts follow the weights exactly.
+        for key, weight in enumerate(weights):
+            assert wrr.served[key] == weight * rounds

@@ -1,0 +1,217 @@
+"""OutputPort congestion behaviours: EFCI, CLP-first discard, per-VC books.
+
+Also covers the tagging UPC (GCRA tag mode) feeding a CLP-threshold
+port, and the conservation auditor balancing the new drop buckets.
+"""
+
+import pytest
+
+from repro.atm import AtmCell, Gcra, VcAddress
+from repro.atm.link import LinkSpec, PhysicalLink
+from repro.atm.mux import OutputPort
+from repro.atm.switch import AtmSwitch, RoutingEntry
+from repro.faults.audit import CellConservationAuditor
+from repro.nic import HostNetworkInterface, aurora_oc3
+from repro.workloads.generators import GreedySource
+
+VC = VcAddress(0, 60)
+OTHER = VcAddress(0, 61)
+
+
+def cell(vc=VC, clp=0, pti=0):
+    return AtmCell(vpi=vc.vpi, vci=vc.vci, payload=bytes(48), clp=clp, pti=pti)
+
+
+def slow_port(sim, **kwargs):
+    """A port draining at 1 cell/s so tests control the backlog exactly."""
+    spec = LinkSpec("crawl", 424.0, 424.0)
+    link = PhysicalLink(sim, spec, sink=lambda c: None, name="crawl")
+    return OutputPort(sim, link, **kwargs)
+
+
+class TestEfciMarking:
+    def test_marks_user_cells_at_threshold(self, sim):
+        port = slow_port(sim, efci_threshold=2, name="p")
+        # First offer drains into serialization; the next two queue.
+        for _ in range(3):
+            assert port.offer(cell())
+        assert port.efci_marked.count == 0
+        port.offer(cell())  # queue is at the threshold now
+        assert port.efci_marked.count == 1
+
+    def test_management_cells_never_marked(self, sim):
+        port = slow_port(sim, efci_threshold=0, name="p")
+        port.offer(cell(pti=0b110))  # RM cell
+        assert port.efci_marked.count == 0
+
+    def test_already_marked_cells_not_double_counted(self, sim):
+        port = slow_port(sim, efci_threshold=0, name="p")
+        port.offer(cell(pti=0b010))
+        assert port.efci_marked.count == 0
+
+    def test_no_threshold_no_marking(self, sim):
+        port = slow_port(sim, name="p")
+        for _ in range(10):
+            port.offer(cell())
+        assert port.efci_marked.count == 0
+
+
+class TestClpDiscard:
+    def test_tagged_cells_die_first_at_threshold(self, sim):
+        port = slow_port(sim, buffer_cells=10, clp_threshold=3, name="p")
+        # Four offers: one drains into serialization, three sit queued.
+        for _ in range(4):
+            assert port.offer(cell())
+        assert port.backlog == 3
+        assert not port.offer(cell(clp=1))
+        assert port.offer(cell())  # committed traffic still admitted
+        assert port.dropped_clp.count == 1
+        assert port.dropped_full.count == 0
+
+    def test_tagged_cells_admitted_below_threshold(self, sim):
+        port = slow_port(sim, buffer_cells=10, clp_threshold=3, name="p")
+        assert port.offer(cell(clp=1))
+        assert port.dropped_clp.count == 0
+
+    def test_full_buffer_drops_everything(self, sim):
+        port = slow_port(sim, buffer_cells=2, name="p")
+        port.offer(cell())  # drains straight into serialization
+        port.offer(cell())
+        port.offer(cell())
+        assert not port.offer(cell())
+        assert not port.offer(cell(clp=1))
+        assert port.dropped_full.count == 1
+        assert port.dropped_clp.count == 1
+        assert port.dropped.count == 2
+
+    def test_validation(self, sim):
+        with pytest.raises(ValueError):
+            slow_port(sim, clp_threshold=0)
+        with pytest.raises(ValueError):
+            slow_port(sim, buffer_cells=0)
+        with pytest.raises(ValueError):
+            slow_port(sim, efci_threshold=-1)
+
+
+class TestPerVcBooks:
+    def test_occupancy_and_loss_itemised_by_vc(self, sim):
+        port = slow_port(sim, buffer_cells=2, name="p")
+        port.offer(cell(VC))  # drains straight into serialization
+        port.offer(cell(VC))
+        port.offer(cell(OTHER))
+        port.offer(cell(OTHER))  # dropped: buffer full
+        # One VC cell is already draining (popped from the queue).
+        assert port.occupancy_of(VC) + port.occupancy_of(OTHER) == port.backlog
+        assert port.occupancy_by_vc() == {VC: 1, OTHER: 1}
+        ratios = port.loss_ratio_by_vc()
+        assert ratios[VC] == 0.0
+        assert ratios[OTHER] == pytest.approx(0.5)
+        assert port.loss_ratio == pytest.approx(0.25)
+
+    def test_books_empty_on_idle_port(self, sim):
+        port = slow_port(sim, name="p")
+        assert port.occupancy_by_vc() == {}
+        assert port.loss_ratio_by_vc() == {}
+        assert port.loss_ratio == 0.0
+
+
+class TestGcraTagMode:
+    def test_police_tags_instead_of_dropping(self):
+        gcra = Gcra.for_rate(1000.0, tag_nonconforming=True)
+        first = gcra.police(cell(), 0.0)
+        assert first is not None and not first.clp
+        tagged = gcra.police(cell(), 0.1e-3)
+        assert tagged is not None and tagged.clp == 1
+        assert gcra.tagged == 1
+        assert gcra.violating == 1
+
+    def test_drop_mode_returns_none(self):
+        gcra = Gcra.for_rate(1000.0)
+        assert gcra.police(cell(), 0.0) is not None
+        assert gcra.police(cell(), 0.1e-3) is None
+        assert gcra.tagged == 0
+
+    def test_tagging_preserves_already_tagged_cells(self):
+        gcra = Gcra.for_rate(1000.0, tag_nonconforming=True)
+        gcra.police(cell(), 0.0)
+        already = cell(clp=1)
+        assert gcra.police(already, 0.1e-3) is already
+
+
+class TestConservationWithPorts:
+    def test_tagging_upc_and_clp_port_keep_the_ledger_balanced(self, sim):
+        """NIC -> tagging GCRA -> switch -> CLP-threshold port -> NIC."""
+        cfg = aurora_oc3()
+        a = HostNetworkInterface(sim, cfg, name="a")
+        b = HostNetworkInterface(sim, cfg, name="b")
+        vc = VcAddress(0, 77)
+        # Contract at 1/4 of the link: an unshaped greedy source
+        # violates constantly and every violation gets CLP-tagged.
+        gcra = Gcra.for_rate(
+            cfg.link.cell_rate / 4.0, tag_nonconforming=True
+        )
+        # The egress wire runs at half rate, so the port backlog grows
+        # and the CLP threshold engages.
+        half = LinkSpec("half", cfg.link.payload_rate_bps / 2,
+                        cfg.link.payload_rate_bps / 2)
+        to_b = PhysicalLink(sim, half, sink=b.rx_input, name="p->b")
+        port = OutputPort(
+            sim, to_b, buffer_cells=64, clp_threshold=8, name="p"
+        )
+        switch = AtmSwitch(sim, [port], name="sw")
+        switch.add_route(0, vc, RoutingEntry(0, vc.vpi, vc.vci))
+        adapter = switch.input(0)
+
+        def police_in(incoming):
+            adapter.receive_cell(gcra.police(incoming, sim.now))
+
+        link = PhysicalLink(sim, cfg.link, sink=police_in, name="a->sw")
+        a.attach_tx_link(link)
+        a.open_vc(address=vc)
+        b.open_vc(address=vc)
+        GreedySource(sim, a, vc, 4096).start()
+        a.start()
+        b.start()
+        auditor = CellConservationAuditor(
+            link, b, switches=[switch], ports=[port], extra_links=[to_b]
+        )
+        sim.run(until=0.01)
+
+        ledger = auditor.assert_conserved()
+        assert gcra.tagged > 0
+        assert ledger.clp_discarded > 0
+        assert ledger.clp_discarded == port.dropped_clp.count
+        # Cells that survived the CLP gauntlet did reach the receiver
+        # (the holes they left discard whole frames at reassembly).
+        assert to_b.cells_delivered.count > 0
+        # Committed (CLP=0) traffic kept the whole buffer: no tail drops.
+        assert ledger.port_full_discarded == 0
+
+    def test_abr_rm_cells_stay_in_the_oam_bucket(self, sim):
+        """The RM interleave must not unbalance the receive-side books."""
+        from repro.nic import connect
+        from repro.tm import AbrAgent, AbrParams
+
+        cfg = aurora_oc3()
+        a = HostNetworkInterface(sim, cfg, name="a")
+        b = HostNetworkInterface(sim, cfg, name="b")
+        link_ab, _ = connect(sim, a, b)
+        vc = VcAddress(0, 32)
+        a.open_vc(address=vc)
+        b.open_vc(address=vc)
+        src = AbrAgent(sim, a)
+        AbrAgent(sim, b)
+        src.add_vc(
+            vc,
+            AbrParams(pcr=cfg.link.cell_rate, icr=cfg.link.cell_rate / 8),
+        )
+        GreedySource(sim, a, vc, 1528).start()
+        a.start()
+        b.start()
+        auditor = CellConservationAuditor(link_ab, b)
+        sim.run(until=0.005)
+
+        ledger = auditor.assert_conserved()
+        assert src.rm_sent.count > 0
+        assert ledger.oam_cells >= src.rm_sent.count
+        assert ledger.delivered > 0

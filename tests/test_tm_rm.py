@@ -1,0 +1,106 @@
+"""RM-cell codec: encode/decode roundtrips, turnaround, damage."""
+
+import pytest
+
+from repro.atm import AtmCell, VcAddress
+from repro.atm.cell import PTI_RESOURCE_MGMT
+from repro.tm import RM_PROTOCOL_ID, RmCell, RmFormatError, is_rm_cell
+
+VC = VcAddress(0, 200)
+
+
+class TestRoundtrip:
+    def test_all_fields_survive(self):
+        rm = RmCell(
+            vc=VC,
+            forward=False,
+            er=353207.5,
+            ccr=1234.25,
+            mcr=10.0,
+            ci=True,
+            ni=True,
+            bn=True,
+        )
+        assert RmCell.decode(rm.encode()) == rm
+
+    def test_defaults_survive(self):
+        rm = RmCell(vc=VC)
+        decoded = RmCell.decode(rm.encode())
+        assert decoded.forward
+        assert not (decoded.ci or decoded.ni or decoded.bn)
+        assert decoded.er == decoded.ccr == decoded.mcr == 0.0
+
+    def test_wire_form_is_management_pti(self):
+        cell = RmCell(vc=VC).encode()
+        assert cell.pti == PTI_RESOURCE_MGMT
+        assert not cell.is_user_cell
+        assert is_rm_cell(cell)
+        assert cell.payload[0] == RM_PROTOCOL_ID
+
+    def test_rates_are_exact_doubles(self):
+        rm = RmCell(vc=VC, er=1.0 / 3.0, ccr=2.0 / 7.0, mcr=1e-9)
+        decoded = RmCell.decode(rm.encode())
+        assert decoded.er == rm.er
+        assert decoded.ccr == rm.ccr
+        assert decoded.mcr == rm.mcr
+
+
+class TestDamage:
+    def test_user_cell_rejected(self):
+        cell = AtmCell(vpi=0, vci=200, payload=bytes(48))
+        assert not is_rm_cell(cell)
+        with pytest.raises(RmFormatError):
+            RmCell.decode(cell)
+
+    def test_payload_corruption_fails_crc(self):
+        cell = RmCell(vc=VC, er=100.0).encode()
+        payload = bytearray(cell.payload)
+        payload[5] ^= 0xFF
+        damaged = AtmCell(
+            vpi=cell.vpi, vci=cell.vci, payload=bytes(payload), pti=cell.pti
+        )
+        with pytest.raises(RmFormatError):
+            RmCell.decode(damaged)
+
+    def test_unknown_protocol_id_rejected(self):
+        from repro.aal.crc import crc10
+
+        cell = RmCell(vc=VC).encode()
+        body = bytearray(cell.payload)
+        body[0] = 0x7F
+        body[-2:] = b"\x00\x00"
+        trailer = crc10(bytes(body))
+        body[-2:] = trailer.to_bytes(2, "big")
+        damaged = AtmCell(
+            vpi=cell.vpi, vci=cell.vci, payload=bytes(body), pti=cell.pti
+        )
+        with pytest.raises(RmFormatError):
+            RmCell.decode(damaged)
+
+    def test_negative_rate_refused_at_encode(self):
+        with pytest.raises(RmFormatError):
+            RmCell(vc=VC, er=-1.0).encode()
+
+
+class TestTurnaround:
+    def test_flips_direction_preserves_rates(self):
+        rm = RmCell(vc=VC, forward=True, er=500.0, ccr=100.0, mcr=5.0)
+        back = rm.turned_around()
+        assert not back.forward
+        assert (back.er, back.ccr, back.mcr) == (500.0, 100.0, 5.0)
+
+    def test_ors_in_congestion_state(self):
+        rm = RmCell(vc=VC, forward=True)
+        assert rm.turned_around(ci=True).ci
+        assert rm.turned_around(ni=True).ni
+        # A CI already set by the network is never cleared.
+        marked = RmCell(vc=VC, forward=True, ci=True)
+        assert marked.turned_around(ci=False).ci
+
+    def test_with_er_only_changes_er(self):
+        rm = RmCell(vc=VC, er=500.0, ccr=100.0, ci=True)
+        stamped = rm.with_er(250.0)
+        assert stamped.er == 250.0
+        assert stamped.ccr == 100.0
+        assert stamped.ci
+        assert stamped.forward == rm.forward
