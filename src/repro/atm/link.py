@@ -227,27 +227,30 @@ class PhysicalLink:
             self.sink(cell)
 
     def _deliver_burst(self, burst: CellBurst) -> None:
-        self.cells_delivered.increment(len(burst))
-        if self.trace is not None:
-            for cell, when in zip(burst.cells, burst.arrivals):
-                self.trace.emit(
-                    "link.cell.delivered", actor=self.name, cell=cell, ts=when
-                )
         if self.sink is None:
             raise RuntimeError(f"{self.name} has no sink attached")
         receive_burst = getattr(self.sink, "receive_burst", None)
         if receive_burst is not None:
+            self.cells_delivered.increment(len(burst))
+            if self.trace is not None:
+                for cell, when in zip(burst.cells, burst.arrivals):
+                    self.trace.emit(
+                        "link.cell.delivered",
+                        actor=self.name,
+                        cell=cell,
+                        ts=when,
+                    )
             receive_burst(burst)
             return
-        # Burst-unaware sink: degrade to per-cell delivery (all at the
-        # first arrival -- the pre-announcement is lost).
-        receive = getattr(self.sink, "receive_cell", None)
-        if receive is not None:
-            for cell in burst.cells:
-                receive(cell)
-        else:
-            for cell in burst.cells:
-                self.sink(cell)
+        # Burst-unaware sink (e.g. a switch input): replay the cells at
+        # their own arrival times, not all at the first -- a sink that
+        # reads ``sim.now`` (fabric delays, port pacing) must see each
+        # cell at exactly the instant the scalar path would deliver it.
+        for cell, when in zip(burst.cells, burst.arrivals):
+            if when <= self.sim.now:
+                self._deliver(cell)
+            else:
+                self.sim.schedule_call_at(when, self._deliver, cell)
 
     @property
     def backlog_time(self) -> float:

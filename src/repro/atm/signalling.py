@@ -205,12 +205,21 @@ class SignallingAgent:
         name: str = "",
         timers: Optional[SignallingTimers] = None,
         streams: Optional[RandomStreams] = None,
+        shape_data_vcs: bool = True,
     ) -> None:
         self.sim = sim
         self.interface = interface
         self.on_setup = on_setup
         self.name = name or f"{interface.name}.sig"
         self.timers = timers
+        #: When True (the default) a call's VC is opened shaped to its
+        #: contract peak, so the transmit engine paces it (CBR-style).
+        #: When False the contract still rides the SETUP -- admission
+        #: control books it -- but the VC is opened unshaped: the
+        #: best-effort data service a host offering thousands of
+        #: low-rate sessions needs, since the single-engine pacer would
+        #: otherwise head-of-line block the interface (docs/SCALE.md).
+        self.shape_data_vcs = shape_data_vcs
         self._rng = (streams or RandomStreams(0)).stream(f"{self.name}.backoff")
         self._calls: Dict[int, Call] = {}
         self._call_refs = itertools.count(1)
@@ -248,6 +257,9 @@ class SignallingAgent:
                 nic.cam.install(
                     SIGNALLING_VC, nic.vc_table.lookup(SIGNALLING_VC)
                 )
+                # Losing this entry to LRU pressure would sever the
+                # control plane, so exempt it from displacement.
+                nic.cam.pin(SIGNALLING_VC)
         #: Non-signalling PDUs are forwarded here; assign this (not
         #: ``interface.on_pdu``, which the agent now owns) to receive
         #: user traffic.  Pre-existing handlers are preserved.
@@ -434,7 +446,9 @@ class SignallingAgent:
             )
             return
         peak = float(message.peak_rate_bps) or None
-        vc = self.interface.open_vc(peak_rate_bps=peak)
+        vc = self.interface.open_vc(
+            peak_rate_bps=peak if self.shape_data_vcs else None
+        )
         call = Call(
             call_ref=message.call_ref,
             state=CallState.ACTIVE,
@@ -462,7 +476,10 @@ class SignallingAgent:
             return
         address = VcAddress(message.vpi, message.vci)
         self.interface.open_vc(
-            address=address, peak_rate_bps=call.peak_rate_bps
+            address=address,
+            peak_rate_bps=(
+                call.peak_rate_bps if self.shape_data_vcs else None
+            ),
         )
         call.address = address
         call.state = CallState.ACTIVE

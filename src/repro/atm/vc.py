@@ -11,7 +11,6 @@ ground truth.
 from __future__ import annotations
 
 import enum
-import itertools
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, Optional
 
@@ -89,7 +88,7 @@ class VcTable:
     def __init__(self, nni: bool = False) -> None:
         self.nni = nni
         self._table: Dict[VcAddress, VirtualConnection] = {}
-        self._vci_counter = itertools.count(RESERVED_VCI_LIMIT)
+        self._next_vci = RESERVED_VCI_LIMIT
 
     def __len__(self) -> int:
         return len(self._table)
@@ -161,10 +160,20 @@ class VcTable:
         return self._table.get(address)
 
     def _allocate_address(self) -> VcAddress:
-        for vci in self._vci_counter:
-            if vci > MAX_VCI:
-                raise RuntimeError("VCI space exhausted")
+        """Next free VCI on VPI 0, wrapping around the allocatable space.
+
+        The cursor keeps moving forward (so freshly closed VCIs are not
+        reused immediately -- stale cells in flight would misdeliver)
+        but wraps at :data:`MAX_VCI`, which a session churning thousands
+        of connections needs: the space is finite, the churn is not.
+        """
+        span = MAX_VCI - RESERVED_VCI_LIMIT + 1
+        for _ in range(span):
+            vci = self._next_vci
+            self._next_vci += 1
+            if self._next_vci > MAX_VCI:
+                self._next_vci = RESERVED_VCI_LIMIT
             candidate = VcAddress(0, vci)
             if candidate not in self._table:
                 return candidate
-        raise RuntimeError("unreachable")  # pragma: no cover
+        raise RuntimeError("VCI space exhausted")

@@ -179,6 +179,16 @@ class CellConservationAuditor:
     aggregate with the entry link's.  The entry link stays the
     offered-side truth; a port's pop feeds its downstream link
     synchronously, so no cells hide between a port and its wire.
+
+    A *bidirectional* fabric (both hosts inject through the same
+    switches, so the switch-wide counters see both directions) is
+    audited by closing the domain instead of picking one direction:
+    *extra_injections* lists the other entry links (their cells add to
+    the offered side) and *extra_receivers* the other terminating
+    interfaces (their engine buckets merge with the primary
+    receiver's).  Every port the named switches feed must then appear
+    in *ports* or *extra_links*' upstream, or cells will legitimately
+    escape the ledger.
     """
 
     def __init__(
@@ -188,23 +198,30 @@ class CellConservationAuditor:
         switches=(),
         ports=(),
         extra_links=(),
+        extra_injections=(),
+        extra_receivers=(),
     ) -> None:
         self.link = link
         self.receiver = receiver
         self.switches = tuple(switches)
         self.ports = tuple(ports)
         self.extra_links = tuple(extra_links)
+        self.extra_injections = tuple(extra_injections)
+        self.extra_receivers = tuple(extra_receivers)
 
     def snapshot(self) -> ConservationLedger:
         """Read every counter and assemble the instant's ledger."""
         link = self.link
-        rx = self.receiver.rx_engine
-        fifo = rx.fifo
-        reasm = rx.reassembler.stats
 
         offered = link.cells_sent.count
         lost = link.cells_lost.count
         wire = offered - lost - link.cells_delivered.count
+        for inj in self.extra_injections:
+            inj_sent = inj.cells_sent.count
+            inj_lost = inj.cells_lost.count
+            offered += inj_sent
+            lost += inj_lost
+            wire += inj_sent - inj_lost - inj.cells_delivered.count
         for hop in self.extra_links:
             hop_lost = hop.cells_lost.count
             lost += hop_lost
@@ -220,38 +237,61 @@ class CellConservationAuditor:
         port_full = sum(port.dropped_full.count for port in self.ports)
         port_queued = sum(port.backlog for port in self.ports)
 
-        consumed_splits = (
-            rx.oam_cells.count
-            + rx.cells_unknown_vc.count
-            + rx.cells_no_buffer.count
-            + reasm.cells_consumed
-        )
-        engine_in_flight = rx.cells_received.count - consumed_splits
-
-        delivered = reasm.cells_delivered
-        to_host = rx.cells_delivered_to_host.count
-        no_host = rx.cells_no_host_buffer.count
+        engines = [self.receiver.rx_engine] + [
+            r.rx_engine for r in self.extra_receivers
+        ]
+        engine_in_flight = 0
+        delivered = 0
+        to_host = 0
+        no_host = 0
+        hec = epd = ppd = 0
+        fifo_overflow = fifo_queued = 0
+        oam = unknown_vc = no_buffer = 0
+        reassembly_open = 0
+        orphaned = 0
+        discarded_by: dict = {}
+        for rx in engines:
+            reasm = rx.reassembler.stats
+            consumed_splits = (
+                rx.oam_cells.count
+                + rx.cells_unknown_vc.count
+                + rx.cells_no_buffer.count
+                + reasm.cells_consumed
+            )
+            engine_in_flight += rx.cells_received.count - consumed_splits
+            delivered += reasm.cells_delivered
+            to_host += rx.cells_delivered_to_host.count
+            no_host += rx.cells_no_host_buffer.count
+            hec += rx.cells_hec_discarded.count
+            epd += rx.cells_epd_discarded.count
+            ppd += rx.cells_ppd_discarded.count
+            fifo_overflow += rx.fifo.overflows.count
+            fifo_queued += len(rx.fifo)
+            oam += rx.oam_cells.count
+            unknown_vc += rx.cells_unknown_vc.count
+            no_buffer += rx.cells_no_buffer.count
+            reassembly_open += rx.reassembler.open_cells()
+            orphaned += reasm.cells_orphaned
+            for why, cells in reasm.cells_discarded_by.items():
+                discarded_by[why.value] = discarded_by.get(why.value, 0) + cells
 
         return ConservationLedger(
             offered=offered,
             link_lost=lost,
             wire_in_flight=wire,
-            hec_discarded=rx.cells_hec_discarded.count,
-            epd_discarded=rx.cells_epd_discarded.count,
-            ppd_discarded=rx.cells_ppd_discarded.count,
-            fifo_overflow=fifo.overflows.count,
-            fifo_queued=len(fifo),
+            hec_discarded=hec,
+            epd_discarded=epd,
+            ppd_discarded=ppd,
+            fifo_overflow=fifo_overflow,
+            fifo_queued=fifo_queued,
             engine_in_flight=engine_in_flight,
-            oam_cells=rx.oam_cells.count,
-            unknown_vc=rx.cells_unknown_vc.count,
-            no_adaptor_buffer=rx.cells_no_buffer.count,
-            reassembly_open=rx.reassembler.open_cells(),
+            oam_cells=oam,
+            unknown_vc=unknown_vc,
+            no_adaptor_buffer=no_buffer,
+            reassembly_open=reassembly_open,
             delivered=delivered,
-            orphaned=reasm.cells_orphaned,
-            discarded_by={
-                why.value: cells
-                for why, cells in reasm.cells_discarded_by.items()
-            },
+            orphaned=orphaned,
+            discarded_by=discarded_by,
             to_host=to_host,
             no_host_buffer=no_host,
             dma_in_flight=delivered - to_host - no_host,

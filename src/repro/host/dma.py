@@ -18,18 +18,13 @@ from repro.sim.core import Event, Simulator
 from repro.sim.monitor import Counter, WelfordStat
 from repro.sim.resources import Resource
 
-#: simlint SL7 dual-path registry (docs/STATIC_ANALYSIS.md): the
-#: arithmetic transfer span must replay the event-by-event bus walk.
-PATH_PAIRS = [
-    {
-        "scalar": "DmaEngine._span_scalar",
-        "burst": "DmaEngine._span_fast",
-        "why": (
-            "the uncontended fast span charges the same bus accounting "
-            "as the event-by-event walk"
-        ),
-    },
-]
+#: simlint SL7 dual-path registry (docs/STATIC_ANALYSIS.md): the DMA
+#: engine has no private fast lane -- both paths go through
+#: :meth:`SystemBus._transfer`, whose internal idle-bus shortcut keeps
+#: the arbiter held so concurrent masters contend identically.  (An
+#: earlier unarbitrated ``_span_fast`` let rx- and tx-DMA spans overlap
+#: on an "idle" bus, which the S1 churn parity gate caught.)
+PATH_PAIRS: list = []
 
 
 @dataclass(frozen=True)
@@ -81,12 +76,11 @@ class DmaEngine:
         yield grant
         if self.trace is not None:
             self.trace.emit("dma.start", actor=self.name, bytes=nbytes)
-        if self.sim.fast_path and self.bus.is_idle:
-            end = self._span_fast(nbytes)
-            if end > self.sim.now:
-                yield self.sim.wake_at(end)
-        else:
-            yield from self._span_scalar(nbytes)
+        # Always arbitrate: the rx and tx engines share the bus, and an
+        # unarbitrated "idle bus" shortcut here would let their spans
+        # overlap -- the bus's own fast path collapses the idle case to
+        # a single event while still holding the arbiter.
+        yield from self._span(nbytes)
         self._channel.release(grant)
         self.transfers.increment()
         self.bytes_moved.increment(nbytes)
@@ -98,20 +92,8 @@ class DmaEngine:
             )
         return nbytes
 
-    def _span_fast(self, nbytes: int) -> float:
-        """Uncontended fast path: the transfer span as arithmetic.
-
-        Setup + bus walk + writeback is a fixed chain (identical float
-        adds to the event-by-event walk in :meth:`_span_scalar`); the
-        caller sleeps once to the returned end time.
-        """
-        end = self.sim.now + self.spec.setup_time
-        if nbytes > 0:
-            end = self.bus.charge_span(nbytes, end, master=self.name)
-        return end + self.spec.completion_time
-
-    def _span_scalar(self, nbytes: int):
-        """Reference lane: arbitrate and walk the bus event by event."""
+    def _span(self, nbytes: int):
+        """Setup, arbitrated bus walk, completion writeback."""
         yield self.sim.timeout(self.spec.setup_time)
         if nbytes > 0:
             yield self.bus.transfer(nbytes, master=self.name)

@@ -1,0 +1,11 @@
+"""Declarative network construction (:class:`repro.net.Testbed`).
+
+The experiments' answer to hand-wired topology blocks: declare hosts,
+switches, links, VC paths, and workloads; ``build(sim)`` realises them
+in a deterministic order and hands back the live objects by name.  See
+``docs/SCALE.md`` for the before/after.
+"""
+
+from repro.net.testbed import Scenario, Testbed
+
+__all__ = ["Scenario", "Testbed"]

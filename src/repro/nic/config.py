@@ -39,6 +39,12 @@ class NicConfig:
     #: CAM entries for receive-side VC steering; None removes the CAM
     #: and the receive engine pays the software-lookup budget instead.
     cam_entries: int | None = 256
+    #: What a full CAM does when a new VC is programmed: "none" refuses
+    #: the entry (CamFullError -- admission control's problem) and
+    #: "lru" silently displaces the least recently matched entry, the
+    #: driver policy for CAMs smaller than the connection table under
+    #: massive multiplexing (docs/SCALE.md).
+    cam_eviction: str = "none"
     buffer_memory: BufferMemorySpec = BufferMemorySpec(
         capacity_cells=8192, width_bytes=4, clock_hz=25e6, dual_ported=True
     )
@@ -74,6 +80,10 @@ class NicConfig:
             raise ValueError("FIFO depths must be >= 1")
         if self.cam_entries is not None and self.cam_entries < 1:
             raise ValueError("cam_entries must be >= 1 or None")
+        if self.cam_eviction not in ("none", "lru"):
+            raise ValueError(
+                f"unknown cam_eviction policy {self.cam_eviction!r}"
+            )
         if self.tx_ring_depth < 1:
             raise ValueError("tx_ring_depth must be >= 1")
         if self.rx_buffer_slots < 1 or self.rx_buffer_slot_size < 1:

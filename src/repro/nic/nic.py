@@ -126,7 +126,11 @@ class HostNetworkInterface:
             sim, config.buffer_memory, name=f"{name}.bufmem"
         )
         self.cam: Optional[Cam] = (
-            Cam(config.cam_entries, name=f"{name}.cam")
+            Cam(
+                config.cam_entries,
+                name=f"{name}.cam",
+                eviction=config.cam_eviction,
+            )
             if config.cam_entries is not None
             else None
         )

@@ -27,14 +27,14 @@ Usage -- instrument any testbed in three lines each::
 
     from repro.obs import (
         CycleProfiler, MetricsRegistry, TraceRecorder,
-        instrument_interface, profile_interface,
+        instrument, profile_interface,
     )
 
     recorder = TraceRecorder(sim)
     nic.attach_trace(recorder)            # every component now emits
 
     registry = MetricsRegistry(sim)
-    instrument_interface(registry, nic)   # standard counter/gauge set
+    instrument(registry, nic)             # standard counter/gauge set
     registry.start_sampling(period=1e-4)
 
     profiler = profile_interface(nic)     # cycle attribution
@@ -50,15 +50,23 @@ point.
 """
 
 from repro.obs.metrics import (
+    INSTRUMENT_DISPATCH,
     KINDS,
+    TOPK_DEFAULT,
     Metric,
     MetricsRegistry,
+    instrument,
+    instrument_abr,
     instrument_auditor,
+    instrument_cac,
+    instrument_erica,
     instrument_executor,
     instrument_interface,
     instrument_link,
+    instrument_port,
     instrument_signalling,
     instrument_supervisor,
+    topk_book,
 )
 from repro.obs.profiler import (
     PHASE_OF_OP,
@@ -79,22 +87,30 @@ from repro.obs.trace import (
 __all__ = [
     "DROP_REASONS",
     "EVENT_TAXONOMY",
+    "INSTRUMENT_DISPATCH",
     "KINDS",
     "PHASES",
     "PHASE_OF_OP",
+    "TOPK_DEFAULT",
     "CycleProfiler",
     "Metric",
     "MetricsRegistry",
     "TraceEvent",
     "TraceRecorder",
+    "instrument",
+    "instrument_abr",
     "instrument_auditor",
+    "instrument_cac",
+    "instrument_erica",
     "instrument_executor",
     "instrument_interface",
     "instrument_link",
+    "instrument_port",
     "instrument_signalling",
     "instrument_supervisor",
     "profile_interface",
     "read_jsonl",
+    "topk_book",
     "write_chrome_trace",
     "write_jsonl",
 ]

@@ -18,16 +18,27 @@ On top of the namespace the registry offers:
 - :meth:`MetricsRegistry.to_json` / :meth:`MetricsRegistry.to_csv` --
   export the snapshot and the sampled series.
 
-``instrument_interface`` / ``instrument_link`` / ``instrument_auditor``
-register the standard metric set for the corresponding object; see
-``docs/OBSERVABILITY.md`` for the full name list.
+:func:`instrument` registers the standard metric set for any supported
+pipeline object -- it type-dispatches on the object's class through
+:data:`INSTRUMENT_DISPATCH`, so one call replaces the historical
+``instrument_interface`` / ``instrument_link`` / ... family (kept as
+thin deprecated aliases).  See ``docs/OBSERVABILITY.md`` for the full
+name list and ``docs/SCALE.md`` for the cardinality rules.
+
+Per-VC breakdowns (port occupancy, session goodput) are exported as
+*bounded* top-K books via :func:`topk_book`: the K largest entries plus
+an ``_other`` aggregate and a ``_keys`` cardinality count, so registry
+size stays O(K) no matter how many thousands of VCs churn through a
+run (see ``docs/SCALE.md``).
 """
 
 from __future__ import annotations
 
+import functools
 import json
+import warnings
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, IO, List, Optional, Union
+from typing import Any, Callable, Dict, IO, List, Mapping, Optional, Union
 
 from repro.sim.monitor import SeriesRecorder
 
@@ -206,11 +217,40 @@ class MetricsRegistry:
 
 
 # ---------------------------------------------------------------------------
+# bounded per-key books
+# ---------------------------------------------------------------------------
+
+#: Default K for bounded per-VC books.  Small enough that a registry
+#: over a 2,048-VC churn stays readable; large enough to show the
+#: heavy hitters fairness analyses care about.
+TOPK_DEFAULT = 8
+
+
+def topk_book(values: Mapping[Any, float], k: int = TOPK_DEFAULT) -> Dict[str, float]:
+    """Bound a per-key breakdown to the K largest entries.
+
+    Returns the top-K items (by value, ties broken by key string for
+    determinism) plus two aggregate entries: ``_other`` -- the summed
+    value of everything not shown -- and ``_keys`` -- the full
+    cardinality of the input book.  The result has at most ``k + 2``
+    entries regardless of how many VCs the run multiplexes, which is
+    what keeps metric cardinality O(K) instead of O(total VCs).
+    """
+    if k < 1:
+        raise ValueError("topk_book needs k >= 1")
+    items = sorted(values.items(), key=lambda kv: (-float(kv[1]), str(kv[0])))
+    book: Dict[str, float] = {str(key): float(val) for key, val in items[:k]}
+    book["_other"] = float(sum(float(val) for _, val in items[k:]))
+    book["_keys"] = float(len(items))
+    return book
+
+
+# ---------------------------------------------------------------------------
 # standard instrumentations
 # ---------------------------------------------------------------------------
 
 
-def instrument_interface(
+def _instrument_interface(
     registry: MetricsRegistry, nic, prefix: Optional[str] = None
 ) -> None:
     """Register the standard metric set for a `HostNetworkInterface`.
@@ -348,6 +388,24 @@ def instrument_interface(
             unit="lookups",
             description="CAM lookup misses (incl. forced)",
         )
+        registry.counter(
+            p + "cam.evictions",
+            lambda: cam.evictions,
+            unit="entries",
+            description="entries displaced by the LRU policy",
+        )
+        registry.counter(
+            p + "cam.capacity_misses",
+            lambda: cam.capacity_misses,
+            unit="lookups",
+            description="misses for VCs evicted under capacity pressure",
+        )
+        registry.gauge(
+            p + "cam.occupancy",
+            lambda: len(cam),
+            unit="entries",
+            description="programmed CAM entries right now",
+        )
     registry.gauge(
         p + "dma.tx_backlog",
         lambda: nic.tx_dma.backlog,
@@ -362,7 +420,7 @@ def instrument_interface(
     )
 
 
-def instrument_link(
+def _instrument_link(
     registry: MetricsRegistry, link, prefix: str = "link."
 ) -> None:
     """Register the wire's conservation counters."""
@@ -386,7 +444,7 @@ def instrument_link(
     )
 
 
-def instrument_supervisor(
+def _instrument_supervisor(
     registry: MetricsRegistry, supervisor, prefix: str = "sup."
 ) -> None:
     """Expose a :class:`repro.resilience.LinkSupervisor`'s counters.
@@ -415,7 +473,7 @@ def instrument_supervisor(
         )
 
 
-def instrument_signalling(
+def _instrument_signalling(
     registry: MetricsRegistry, agent, prefix: str = "sig."
 ) -> None:
     """Expose a :class:`repro.atm.signalling.SignallingAgent`'s counters."""
@@ -436,14 +494,20 @@ def instrument_signalling(
         )
 
 
-def instrument_port(
-    registry: MetricsRegistry, port, prefix: Optional[str] = None
+def _instrument_port(
+    registry: MetricsRegistry,
+    port,
+    prefix: Optional[str] = None,
+    topk: int = TOPK_DEFAULT,
 ) -> None:
     """Expose an :class:`repro.atm.mux.OutputPort`'s queue accounting.
 
     Covers the itemised drop classes (CLP-first vs tail), the EFCI
     marking counter, the instantaneous backlog, and the per-VC
-    occupancy/loss breakdowns the fairness analyses read.
+    occupancy/loss breakdowns the fairness analyses read.  The per-VC
+    books are bounded top-K aggregates (:func:`topk_book`): at 2k+
+    churning VCs an unbounded per-VC dict would dominate every metrics
+    export.
     """
     p = f"{prefix or port.name}."
     for name, counter, description in (
@@ -473,19 +537,19 @@ def instrument_port(
     )
     registry.histogram(
         p + "occupancy_by_vc",
-        lambda: {str(vc): n for vc, n in sorted(port.occupancy_by_vc().items())},
+        lambda: topk_book(port.occupancy_by_vc(), topk),
         unit="cells",
-        description="current buffer occupancy itemised by VC",
+        description="buffer occupancy: top-K VCs + _other/_keys aggregate",
     )
     registry.histogram(
         p + "loss_ratio_by_vc",
-        lambda: {str(vc): r for vc, r in sorted(port.loss_ratio_by_vc().items())},
+        lambda: topk_book(port.loss_ratio_by_vc(), topk),
         unit="fraction",
-        description="per-VC drop fraction",
+        description="per-VC drop fraction: top-K VCs + _other/_keys aggregate",
     )
 
 
-def instrument_abr(
+def _instrument_abr(
     registry: MetricsRegistry, agent, prefix: Optional[str] = None
 ) -> None:
     """Expose an :class:`repro.tm.abr.AbrAgent`'s control-loop counters."""
@@ -506,7 +570,7 @@ def instrument_abr(
         )
 
 
-def instrument_erica(
+def _instrument_erica(
     registry: MetricsRegistry, allocator, prefix: Optional[str] = None
 ) -> None:
     """Expose an :class:`repro.tm.erica.EricaAllocator`'s counters."""
@@ -525,7 +589,7 @@ def instrument_erica(
     )
 
 
-def instrument_cac(
+def _instrument_cac(
     registry: MetricsRegistry, cac, prefix: Optional[str] = None
 ) -> None:
     """Expose a :class:`repro.tm.cac.CallAdmissionController`'s books."""
@@ -562,7 +626,7 @@ def instrument_cac(
     )
 
 
-def instrument_executor(
+def _instrument_executor(
     registry: MetricsRegistry, executor, prefix: str = "runner."
 ) -> None:
     """Expose a sweep :class:`~repro.runner.Executor`'s counters.
@@ -588,7 +652,7 @@ def instrument_executor(
         )
 
 
-def instrument_auditor(
+def _instrument_auditor(
     registry: MetricsRegistry, auditor, prefix: str = "audit."
 ) -> None:
     """Expose the conservation ledger's buckets as counters.
@@ -620,3 +684,144 @@ def instrument_auditor(
         unit="cells",
         description="per-cause drop attribution",
     )
+
+
+def _instrument_sessions(
+    registry: MetricsRegistry,
+    engine,
+    prefix: Optional[str] = None,
+    topk: int = TOPK_DEFAULT,
+) -> None:
+    """Expose a :class:`repro.scale.SessionEngine`'s churn books.
+
+    All per-session quantities are aggregates or bounded top-K books:
+    the engine drives thousands of VCs, so the registry must stay O(K).
+    """
+    p = f"{prefix or engine.name}."
+    for name, description in (
+        ("placed", "calls placed (SETUP sent)"),
+        ("connected", "calls that reached ACTIVE"),
+        ("refused", "calls refused by admission control"),
+        ("released", "calls released (holding time expired)"),
+        ("failed", "calls that timed out terminally"),
+    ):
+        registry.counter(
+            p + name,
+            (lambda n: lambda: getattr(engine, f"sessions_{n}").count)(name),
+            unit="calls",
+            description=description,
+        )
+    registry.gauge(
+        p + "active",
+        lambda: engine.active_sessions,
+        unit="calls",
+        description="sessions holding an open VC right now",
+    )
+    registry.gauge(
+        p + "peak_active",
+        lambda: engine.peak_active,
+        unit="calls",
+        description="high-water mark of concurrent sessions",
+    )
+    registry.gauge(
+        p + "setup_latency_mean_s",
+        lambda: engine.setup_latency.mean,
+        unit="s",
+        description="mean SETUP->CONNECT latency over completed setups",
+    )
+    registry.gauge(
+        p + "setup_latency_max_s",
+        lambda: engine.setup_latency.maximum,
+        unit="s",
+        description="worst SETUP->CONNECT latency",
+    )
+    registry.histogram(
+        p + "goodput_by_vc",
+        lambda: topk_book(engine.delivered_by_vc, topk),
+        unit="bytes",
+        description="delivered bytes: top-K sessions + _other/_keys",
+    )
+
+
+# ---------------------------------------------------------------------------
+# type-dispatched instrumentation
+# ---------------------------------------------------------------------------
+
+#: The canonical dispatch table: pipeline class name -> instrumenter.
+#: Keyed by class *name* (walked over the MRO) so this module keeps the
+#: obs packages' one structural rule -- nothing here imports the
+#: pipeline packages.  simlint SL503 checks every ``_instrument_*``
+#: defined above is reachable through this table.
+INSTRUMENT_DISPATCH: Dict[str, Callable[..., None]] = {
+    "HostNetworkInterface": _instrument_interface,
+    "PhysicalLink": _instrument_link,
+    "LinkSupervisor": _instrument_supervisor,
+    "SignallingAgent": _instrument_signalling,
+    "OutputPort": _instrument_port,
+    "AbrAgent": _instrument_abr,
+    "EricaAllocator": _instrument_erica,
+    "CallAdmissionController": _instrument_cac,
+    "Executor": _instrument_executor,
+    "CellConservationAuditor": _instrument_auditor,
+    "SessionEngine": _instrument_sessions,
+}
+
+
+def instrument(registry: MetricsRegistry, obj: Any, prefix: str = "") -> None:
+    """Register the standard metric set for *obj*, whatever it is.
+
+    Dispatches on the object's class (walking the MRO, so subclasses
+    of instrumentable types work) through :data:`INSTRUMENT_DISPATCH`.
+    An empty *prefix* uses each instrumenter's documented default --
+    usually the object's own ``name`` -- exactly as the historical
+    per-type entry points did; raise :class:`TypeError` for objects no
+    instrumenter covers rather than silently registering nothing.
+    """
+    for klass in type(obj).__mro__:
+        target = INSTRUMENT_DISPATCH.get(klass.__name__)
+        if target is not None:
+            if prefix:
+                target(registry, obj, prefix=prefix)
+            else:
+                target(registry, obj)
+            return
+    raise TypeError(
+        f"no instrumenter registered for {type(obj).__name__!r}; "
+        f"known: {', '.join(sorted(INSTRUMENT_DISPATCH))}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# deprecated per-type aliases
+# ---------------------------------------------------------------------------
+
+
+def _deprecated_alias(name: str, target: Callable[..., None]) -> Callable[..., None]:
+    @functools.wraps(target)
+    def alias(*args: Any, **kwargs: Any) -> None:
+        warnings.warn(
+            f"repro.obs.{name} is deprecated; use "
+            "repro.obs.instrument(registry, obj, prefix=...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        target(*args, **kwargs)
+
+    alias.__name__ = name
+    alias.__qualname__ = name
+    return alias
+
+
+#: Deprecated aliases for the historical per-type entry points.  They
+#: forward to the same implementations :func:`instrument` dispatches
+#: to; new code should call :func:`instrument`.
+instrument_interface = _deprecated_alias("instrument_interface", _instrument_interface)
+instrument_link = _deprecated_alias("instrument_link", _instrument_link)
+instrument_supervisor = _deprecated_alias("instrument_supervisor", _instrument_supervisor)
+instrument_signalling = _deprecated_alias("instrument_signalling", _instrument_signalling)
+instrument_port = _deprecated_alias("instrument_port", _instrument_port)
+instrument_abr = _deprecated_alias("instrument_abr", _instrument_abr)
+instrument_erica = _deprecated_alias("instrument_erica", _instrument_erica)
+instrument_cac = _deprecated_alias("instrument_cac", _instrument_cac)
+instrument_executor = _deprecated_alias("instrument_executor", _instrument_executor)
+instrument_auditor = _deprecated_alias("instrument_auditor", _instrument_auditor)

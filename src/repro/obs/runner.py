@@ -28,17 +28,7 @@ from collections import Counter as TallyCounter
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.obs.metrics import (
-    MetricsRegistry,
-    instrument_abr,
-    instrument_auditor,
-    instrument_erica,
-    instrument_interface,
-    instrument_link,
-    instrument_port,
-    instrument_signalling,
-    instrument_supervisor,
-)
+from repro.obs.metrics import MetricsRegistry, instrument
 from repro.obs.profiler import CycleProfiler, profile_interface
 from repro.obs.trace import TraceRecorder
 from repro.sim.core import Simulator
@@ -103,7 +93,7 @@ def _instrument_pair(run: TracedRun, *nics) -> None:
     for nic in nics:
         nic.attach_trace(run.recorder)
         profile_interface(nic, run.profiler)
-        instrument_interface(run.registry, nic)
+        instrument(run.registry, nic)
 
 
 def _build_f2(run: TracedRun, sdu_size: int = 9180) -> float:
@@ -117,7 +107,7 @@ def _build_f2(run: TracedRun, sdu_size: int = 9180) -> float:
     scenario = build_point_to_point(run.sim, config)
     GreedySource(run.sim, scenario.sender, scenario.vc, sdu_size).start()
     _instrument_pair(run, scenario.sender, scenario.receiver)
-    instrument_link(run.registry, scenario.link_ab, prefix="link_ab.")
+    instrument(run.registry, scenario.link_ab, prefix="link_ab.")
     run.title = f"greedy {sdu_size}-byte transmit over {config.link.name}"
     run.notes.append(
         "host software zeroed (lab_host): the trace shows the adaptor "
@@ -199,9 +189,9 @@ def _build_r1(
         name="lossy-wire",
     )
     link.trace = run.recorder
-    instrument_link(run.registry, link)
+    instrument(run.registry, link)
     auditor = CellConservationAuditor(link, nic)
-    instrument_auditor(run.registry, auditor)
+    instrument(run.registry, auditor)
     InterleavedCellSource(
         run.sim,
         sink=link.send,
@@ -236,8 +226,8 @@ def _build_r2(
         SignallingAgent,
     )
     from repro.faults.audit import CellConservationAuditor
+    from repro.net import Testbed
     from repro.nic.config import aurora_oc3
-    from repro.nic.nic import HostNetworkInterface, connect
     from repro.resilience.experiment import (
         R2_SUPERVISION,
         R2_TIMERS,
@@ -251,33 +241,36 @@ def _build_r2(
     sim = run.sim
     streams = RandomStreams(seed)
     config = aurora_oc3()
-    a = HostNetworkInterface(sim, config, name="a")
-    b = HostNetworkInterface(sim, config, name="b")
     flap = ScheduledLoss(
         UniformLoss(1.0, rng=streams.stream("r2.flap")),
         start=flap_start,
         stop=flap_start + flap_down,
     )
-    link_ab, link_ba = connect(sim, a, b, loss_ab=flap)
+    tb = Testbed(default_config=config)
+    tb.add_host("a").add_host("b")
+    tb.connect("a", "b", loss_ab=flap)
+    net = tb.build(sim)
+    a, b = net.hosts["a"], net.hosts["b"]
+    link_ab, link_ba = net.links["a->b"], net.links["b->a"]
     _instrument_pair(run, a, b)
     link_ab.trace = run.recorder
     link_ba.trace = run.recorder
-    instrument_link(run.registry, link_ab, prefix="link_ab.")
+    instrument(run.registry, link_ab, prefix="link_ab.")
     auditor = CellConservationAuditor(link_ab, b)
-    instrument_auditor(run.registry, auditor)
+    instrument(run.registry, auditor)
 
     sig_a = SignallingAgent(sim, a, streams=streams, timers=R2_TIMERS)
     sig_b = SignallingAgent(sim, b, streams=streams, timers=R2_TIMERS)
     sig_a.trace = run.recorder
     sig_b.trace = run.recorder
-    instrument_signalling(run.registry, sig_a, prefix="sig_a.")
-    instrument_signalling(run.registry, sig_b, prefix="sig_b.")
+    instrument(run.registry, sig_a, prefix="sig_a.")
+    instrument(run.registry, sig_b, prefix="sig_b.")
     sup_a = LinkSupervisor(sim, a, config=R2_SUPERVISION, name="sup-a")
     sup_b = LinkSupervisor(sim, b, config=R2_SUPERVISION, name="sup-b")
     sup_a.trace = run.recorder
     sup_b.trace = run.recorder
-    instrument_supervisor(run.registry, sup_a, prefix="sup_a.")
-    instrument_supervisor(run.registry, sup_b, prefix="sup_b.")
+    instrument(run.registry, sup_a, prefix="sup_a.")
+    instrument(run.registry, sup_b, prefix="sup_b.")
     sig_a.on_call_active = lambda call: sup_a.protect(call.address)
     sig_b.on_call_active = lambda call: sup_b.protect(call.address)
     sup_a.start()
@@ -328,11 +321,8 @@ def _build_c1(
 ) -> float:
     """C1's closed-loop arm: ABR sources converging at a bottleneck."""
     from repro.atm.addressing import VcAddress
-    from repro.atm.link import PhysicalLink
-    from repro.atm.mux import OutputPort
-    from repro.atm.switch import AtmSwitch, RoutingEntry
+    from repro.net import Testbed
     from repro.nic.config import aurora_oc3
-    from repro.nic.nic import HostNetworkInterface
     from repro.sim.random import RandomStreams
     from repro.tm.abr import AbrAgent, AbrParams
     from repro.tm.erica import EricaAllocator
@@ -346,44 +336,39 @@ def _build_c1(
     weights = {VcAddress(0, 32 + i): i + 1 for i in range(n_sources)}
     vcs = sorted(weights, key=lambda vc: vc.vci)
 
-    sources = [
-        HostNetworkInterface(sim, cfg, name=f"s{i}") for i in range(n_sources)
-    ]
-    dest = HostNetworkInterface(sim, cfg, name="d")
-
-    to_dest = PhysicalLink(sim, spec, sink=dest.rx_input, name="sw2->d")
-    egress = OutputPort(sim, to_dest, name="p-egress")
-    return_ports = []
-    for i, source in enumerate(sources):
-        back = PhysicalLink(sim, spec, sink=source.rx_input, name=f"sw2->s{i}")
-        return_ports.append(OutputPort(sim, back, name=f"p-ret{i}"))
-    sw2 = AtmSwitch(sim, [egress] + return_ports, name="sw2")
-    mid = PhysicalLink(sim, spec, sink=sw2.input(0), name="sw1->sw2")
-    bottleneck = OutputPort(
-        sim,
-        mid,
+    tb = Testbed(default_config=cfg)
+    for i in range(n_sources):
+        tb.add_host(f"s{i}")
+    tb.add_host("d")
+    tb.add_switch("sw1").add_switch("sw2")
+    tb.link(
+        "sw1",
+        "sw2",
         buffer_cells=buffer_cells,
-        name="bottleneck",
         efci_threshold=efci_threshold,
+        port_name="bottleneck",
     )
-    sw1 = AtmSwitch(sim, [bottleneck], name="sw1")
-    for i, source in enumerate(sources):
-        access = PhysicalLink(sim, spec, sink=sw1.input(i), name=f"s{i}->sw1")
-        source.attach_tx_link(access)
-        access.trace = run.recorder
-    return_in = PhysicalLink(sim, spec, sink=sw2.input(n_sources), name="d->sw2")
-    dest.attach_tx_link(return_in)
-
+    tb.link("sw2", "d", port_name="p-egress")
+    for i in range(n_sources):
+        tb.link("sw2", f"s{i}", port_name=f"p-ret{i}")
+    for i in range(n_sources):
+        tb.link(f"s{i}", "sw1")
+    tb.link("d", "sw2")
     for i, vc in enumerate(vcs):
-        sw1.add_route(i, vc, RoutingEntry(0, vc.vpi, vc.vci))
-        sw2.add_route(0, vc, RoutingEntry(0, vc.vpi, vc.vci))
-        sw2.add_route(n_sources, vc, RoutingEntry(1 + i, vc.vpi, vc.vci))
-        sources[i].open_vc(address=vc)
-        dest.open_vc(address=vc)
+        tb.vc(vc, [f"s{i}", "sw1", "sw2", "d"])
+        tb.route(vc, ["d", "sw2", f"s{i}"])
+    net = tb.build(sim)
+    sources = [net.hosts[f"s{i}"] for i in range(n_sources)]
+    dest = net.hosts["d"]
+    mid = net.links["sw1->sw2"]
+    to_dest = net.links["sw2->d"]
+    bottleneck = net.ports["bottleneck"]
+    for i in range(n_sources):
+        net.links[f"s{i}->sw1"].trace = run.recorder
 
     erica = EricaAllocator(
         sim,
-        sw1,
+        net.switches["sw1"],
         target_utilization=C1_TARGET_UTILIZATION,
         weight_of=weights.get,
     )
@@ -403,14 +388,14 @@ def _build_c1(
     _instrument_pair(run, *sources, dest)
     mid.trace = run.recorder
     to_dest.trace = run.recorder
-    instrument_link(run.registry, mid, prefix="mid.")
+    instrument(run.registry, mid, prefix="mid.")
     bottleneck.trace = run.recorder
-    instrument_port(run.registry, bottleneck, prefix="bottleneck.")
+    instrument(run.registry, bottleneck, prefix="bottleneck.")
     erica.trace = run.recorder
-    instrument_erica(run.registry, erica)
+    instrument(run.registry, erica)
     for agent in agents + [dest_agent]:
         agent.trace = run.recorder
-        instrument_abr(run.registry, agent)
+        instrument(run.registry, agent)
 
     start_rng = streams.stream("c1.start")
     for i, vc in enumerate(vcs):
@@ -430,6 +415,131 @@ def _build_c1(
     return 0.01
 
 
+def _build_s1(
+    run: TracedRun,
+    arrival_rate: float = 600.0,
+    holding_time: float = 0.05,
+    pdus_per_session: int = 2,
+    sdu_size: int = 256,
+    cam_entries: int = 32,
+    reassembly_quota: int = 64,
+    seed: int = 1,
+) -> float:
+    """S1's churn scenario at trace scale: signalled sessions through CAC."""
+    from dataclasses import replace
+
+    from repro.atm.signalling import SIGNALLING_VC, SignallingAgent
+    from repro.faults.audit import CellConservationAuditor
+    from repro.net import Testbed
+    from repro.nic.config import aurora_oc3
+    from repro.scale.experiment import _FWD, _REV
+    from repro.scale.session import SessionEngine, SessionProfile
+    from repro.sim.random import RandomStreams
+    from repro.tm.cac import CallAdmissionController
+
+    duration = 0.2
+    sim = run.sim
+    streams = RandomStreams(seed)
+    cfg = replace(
+        aurora_oc3(),
+        cam_entries=cam_entries,
+        cam_eviction="lru",
+        reassembly_quota=reassembly_quota,
+    )
+
+    # The same two-switch fabric run_s1 churns at 2k+ VCs, shrunk to a
+    # few dozen concurrent sessions so individual SETUP/CONNECT/RELEASE
+    # exchanges stay legible in the trace.
+    tb = Testbed(default_config=cfg)
+    tb.add_host("caller").add_host("callee")
+    tb.add_switch("sw1").add_switch("sw2")
+    tb.link("caller", "sw1")
+    tb.link("sw1", "sw2", port_name="p-fwd")
+    tb.link("sw2", "callee", port_name="p-egress")
+    tb.link("callee", "sw2")
+    tb.link("sw2", "sw1", port_name="p-rev")
+    tb.link("sw1", "caller", port_name="p-ret")
+    tb.route(SIGNALLING_VC, _FWD)
+    tb.route(SIGNALLING_VC, _REV)
+    net = tb.build(sim)
+    caller, callee = net.hosts["caller"], net.hosts["callee"]
+    _instrument_pair(run, caller, callee)
+    for link in net.links.values():
+        link.trace = run.recorder
+    instrument(run.registry, net.links["sw1->sw2"], prefix="mid.")
+    instrument(run.registry, net.ports["p-egress"], prefix="egress.")
+
+    auditor = CellConservationAuditor(
+        net.links["caller->sw1"],
+        callee,
+        switches=list(net.switches.values()),
+        ports=[net.ports[p] for p in ("p-fwd", "p-egress", "p-rev", "p-ret")],
+        extra_links=[
+            net.links[n]
+            for n in ("sw1->sw2", "sw2->callee", "sw2->sw1", "sw1->caller")
+        ],
+        extra_injections=[net.links["callee->sw2"]],
+        extra_receivers=[caller],
+    )
+    instrument(run.registry, auditor)
+
+    callee_sig = SignallingAgent(
+        sim, callee, streams=streams, name="callee-sig", shape_data_vcs=False
+    )
+    caller_sig = SignallingAgent(
+        sim, caller, streams=streams, name="caller-sig", shape_data_vcs=False
+    )
+    callee_sig.trace = run.recorder
+    caller_sig.trace = run.recorder
+    instrument(run.registry, caller_sig, prefix="sig.")
+    cac = CallAdmissionController(sim)
+    cac.add_link(net.links["sw1->sw2"])
+    cac.guard(callee_sig)
+    instrument(run.registry, cac, prefix="cac.")
+
+    caller_sig.on_call_active = lambda call: net.add_route(call.address, _FWD)
+    caller_sig.on_call_released = lambda call: net.remove_route(
+        call.address, _FWD
+    )
+
+    engine = SessionEngine(
+        sim,
+        caller_sig,
+        streams,
+        SessionProfile(
+            arrival_rate=arrival_rate,
+            holding_time=holding_time,
+            peak_rate_bps=64000.0,
+            pdus_per_session=pdus_per_session,
+            sdu_size=sdu_size,
+        ),
+    )
+    callee_sig.on_user_pdu = lambda completion: engine.record_delivery(
+        completion.vc, completion.size
+    )
+    instrument(run.registry, engine, prefix="sessions.")
+
+    engine.start()
+    callee.start()
+    # One call placed at t=0, so even a sub-millisecond smoke trace
+    # captures a full SETUP/CONNECT exchange before the first Poisson
+    # arrival lands.
+    caller_sig.place_call(peak_rate_bps=64000.0)
+
+    run.title = (
+        f"Poisson session churn (~{arrival_rate * holding_time:.0f} "
+        f"concurrent) through a two-switch fabric, CAM={cam_entries} "
+        "(S1's scenario at trace scale)"
+    )
+    run.notes.append(
+        "watch rx.cam.evict / rx.cam.miss and cell.drop(unknown_vc): "
+        "calls churn VCs through a CAM smaller than the connection "
+        "population, released VCs' stragglers land as unroutable, and "
+        "the audit.* ledger closes over both directions of the fabric"
+    )
+    return duration
+
+
 def _build_quickstart(run: TracedRun, sdu_size: int = 4096) -> float:
     """The examples/quickstart.py exchange, instrumented end to end."""
     from repro.nic.config import aurora_oc3
@@ -442,7 +552,7 @@ def _build_quickstart(run: TracedRun, sdu_size: int = 4096) -> float:
         run.sim, scenario.sender, scenario.vc, sdu_size, total_pdus=5
     ).start()
     _instrument_pair(run, scenario.sender, scenario.receiver)
-    instrument_link(run.registry, scenario.link_ab, prefix="link_ab.")
+    instrument(run.registry, scenario.link_ab, prefix="link_ab.")
     run.title = f"five {sdu_size}-byte PDUs with full host costs"
     run.notes.append(
         "host costs are NOT zeroed here: interrupt and driver events "
@@ -458,6 +568,7 @@ TRACEABLE: Dict[str, Tuple[Callable[[TracedRun], float], str]] = {
     "r1": (_build_r1, "lossy overload with frame discard (R1's scenario)"),
     "r2": (_build_r2, "link-flap recovery plane (R2's recovery-on arm)"),
     "c1": (_build_c1, "ABR bottleneck control loop (C1's closed-loop arm)"),
+    "s1": (_build_s1, "session churn at scale (S1's scenario, shrunk)"),
     "quickstart": (_build_quickstart, "the README quickstart exchange"),
 }
 

@@ -75,6 +75,7 @@ EVENT_TAXONOMY: Dict[str, str] = {
     "rx.frame.truncated": "PPD began discarding a holed frame's remainder",
     "rx.cam.hit": "CAM matched the cell's VC to a reassembly context",
     "rx.cam.miss": "CAM had no entry for the cell's VC",
+    "rx.cam.evict": "LRU policy displaced an entry to program a new VC",
     "rx.cell.oam": "management cell consumed by the OAM unit",
     "rx.cell.sar": "cell absorbed into reassembly state (position annotated)",
     "rx.pdu.done": "reassembly completed a PDU (CRC/length verdict ok)",

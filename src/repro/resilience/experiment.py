@@ -38,8 +38,8 @@ from repro.atm.signalling import (
     SignallingTimers,
 )
 from repro.faults.audit import CellConservationAuditor
+from repro.net import Testbed
 from repro.nic.config import aurora_oc3
-from repro.nic.nic import HostNetworkInterface, connect
 from repro.resilience.restore import CallRestorer
 from repro.resilience.supervisor import LinkSupervisor, SupervisorConfig
 from repro.runner import ResultStore, RunLog, SweepSpec, run_sweep
@@ -85,14 +85,17 @@ def _flap_run(
     sim = Simulator()
     streams = RandomStreams(seed)
     cfg = aurora_oc3()
-    a = HostNetworkInterface(sim, cfg, name="a")
-    b = HostNetworkInterface(sim, cfg, name="b")
     flap = ScheduledLoss(
         UniformLoss(1.0, rng=streams.stream("r2.flap")),
         start=flap_start,
         stop=flap_start + flap_down,
     )
-    link_ab, _link_ba = connect(sim, a, b, loss_ab=flap)
+    tb = Testbed(default_config=cfg)
+    tb.add_host("a").add_host("b")
+    tb.connect("a", "b", loss_ab=flap)
+    net = tb.build(sim)
+    a, b = net.hosts["a"], net.hosts["b"]
+    link_ab = net.links["a->b"]
     auditor = CellConservationAuditor(link_ab, b)
 
     sig_b = SignallingAgent(sim, b, streams=streams, timers=R2_TIMERS if recovery else None)
@@ -206,7 +209,10 @@ def _r2_point(params: Dict[str, Any], streams: RandomStreams) -> Dict[str, float
 
 
 def run_r2(
-    seeds: Sequence[int] = (1, 2, 3),
+    config=None,
+    *,
+    seeds: Optional[Sequence[int]] = None,
+    fast_path: bool = False,
     duration: float = 0.02,
     flap_start: float = 0.006,
     flap_down: float = 0.005,
@@ -222,7 +228,11 @@ def run_r2(
     Each seed runs the same flapped scenario twice -- with and without
     the fault-management plane -- and reports whole-run and per-window
     goodput plus the recovery invariants.  See ``docs/RESILIENCE.md``.
+    Sweep points build their configs from JSON parameters, so *config*
+    (like *fast_path*) is accepted only for the uniform contract.
     """
+    del config, fast_path
+    seeds = tuple(seeds) if seeds is not None else (1, 2, 3)
     from repro.results.experiments import ExperimentResult
 
     spec = SweepSpec.grid(

@@ -150,8 +150,18 @@ def _window_for(size: int, base: float, link) -> float:
 # T1 / T2: the engine cycle-budget tables
 # ---------------------------------------------------------------------------
 
-def run_t1(config: Optional[NicConfig] = None) -> ExperimentResult:
-    """T1: transmit-path per-operation cycle budget."""
+def run_t1(
+    config: Optional[NicConfig] = None,
+    *,
+    seeds: Optional[Sequence[int]] = None,
+    fast_path: bool = False,
+) -> ExperimentResult:
+    """T1: transmit-path per-operation cycle budget.
+
+    Closed-form table: *seeds* and *fast_path* are accepted only for
+    the uniform experiment contract (see EXPERIMENTS.md).
+    """
+    del seeds, fast_path
     config = config if config is not None else aurora_oc3()
     costs = config.tx_costs
     engine = config.tx_engine
@@ -179,8 +189,18 @@ def run_t1(config: Optional[NicConfig] = None) -> ExperimentResult:
     return result
 
 
-def run_t2(config: Optional[NicConfig] = None) -> ExperimentResult:
-    """T2: receive-path per-operation cycle budget (CAM and software)."""
+def run_t2(
+    config: Optional[NicConfig] = None,
+    *,
+    seeds: Optional[Sequence[int]] = None,
+    fast_path: bool = False,
+) -> ExperimentResult:
+    """T2: receive-path per-operation cycle budget (CAM and software).
+
+    Closed-form table: *seeds* and *fast_path* are accepted only for
+    the uniform experiment contract.
+    """
+    del seeds, fast_path
     config = config if config is not None else aurora_oc3()
     costs = config.rx_costs
     engine = config.rx_engine
@@ -214,11 +234,17 @@ def run_t2(config: Optional[NicConfig] = None) -> ExperimentResult:
 
 def run_f2(
     config: Optional[NicConfig] = None,
+    *,
+    seeds: Optional[Sequence[int]] = None,
+    fast_path: bool = False,
     sizes: Sequence[int] = DEFAULT_SIZES,
     window: float = 0.05,
-    fast_path: bool = False,
 ) -> ExperimentResult:
-    """F2: transmit throughput vs PDU size (simulated + analytic)."""
+    """F2: transmit throughput vs PDU size (simulated + analytic).
+
+    Deterministic: *seeds* is accepted only for the uniform contract.
+    """
+    del seeds
     config = config if config is not None else aurora_oc3()
     isolated = lab_host(config)
     sim_config = SimConfig(fast_path=fast_path)
@@ -268,9 +294,11 @@ def run_f2(
 
 def run_f3(
     config: Optional[NicConfig] = None,
+    *,
+    seeds: Optional[Sequence[int]] = None,
+    fast_path: bool = False,
     sizes: Sequence[int] = DEFAULT_SIZES,
     window: float = 0.05,
-    fast_path: bool = False,
 ) -> ExperimentResult:
     """F3: receive throughput vs PDU size.
 
@@ -278,8 +306,10 @@ def run_f3(
     receive FIFO directly from a backlogged wire model: cells arrive at
     link rate but never overrun (upstream buffering), so the measured
     goodput is min(link, receive engine) -- the paper's sustainable-rate
-    quantity.
+    quantity.  Deterministic: *seeds* is accepted only for the uniform
+    contract.
     """
+    del seeds
     config = lab_host(config if config is not None else aurora_oc3())
     series = Series(name="rx throughput", x_label="sdu_bytes")
     for size in sizes:
@@ -360,10 +390,17 @@ def run_f3(
 
 def run_f4(
     config: Optional[NicConfig] = None,
+    *,
+    seeds: Optional[Sequence[int]] = None,
+    fast_path: bool = False,
     sizes: Sequence[int] = (64, 1024, 9180, 65535),
     propagation_delay: float = 0.0,
 ) -> ExperimentResult:
-    """F4: unloaded end-to-end latency, modelled stages vs simulation."""
+    """F4: unloaded end-to-end latency, modelled stages vs simulation.
+
+    *seeds* and *fast_path* are accepted only for the uniform contract.
+    """
+    del seeds, fast_path
     config = config if config is not None else aurora_oc3()
     headers = ["sdu_bytes"]
     rows: List[List] = []
@@ -423,11 +460,19 @@ def run_f4(
 # ---------------------------------------------------------------------------
 
 def run_t3(
+    config: Optional[NicConfig] = None,
+    *,
+    seeds: Optional[Sequence[int]] = None,
+    fast_path: bool = False,
     sizes: Sequence[int] = (64, 576, 1500, 9180, 65535),
     pdus: int = 30,
 ) -> ExperimentResult:
-    """T3: host cycles per received PDU -- the offload dividend."""
-    nic_config = aurora_oc3()
+    """T3: host cycles per received PDU -- the offload dividend.
+
+    *seeds* and *fast_path* are accepted only for the uniform contract.
+    """
+    del seeds, fast_path
+    nic_config = config if config is not None else aurora_oc3()
     # Deep adaptor cell buffer: within a single large PDU, cells arrive
     # faster than a per-cell-interrupt host absorbs them, so clean cost
     # accounting needs the dumb adaptor's one luxury -- onboard RAM.
@@ -505,6 +550,10 @@ def run_t3(
 # ---------------------------------------------------------------------------
 
 def run_f5(
+    config: Optional[NicConfig] = None,
+    *,
+    seeds: Optional[Sequence[int]] = None,
+    fast_path: bool = False,
     fifo_depths: Sequence[int] = (8, 16, 32, 64, 128, 256),
     burst_pdus: float = 8.0,
     sdu_size: int = 9180,
@@ -515,9 +564,11 @@ def run_f5(
     At STS-12c the default 25 MHz receive engine's per-cell time exceeds
     the cell slot, so FIFO occupancy climbs during bursts; the FIFO
     depth determines whether the inter-burst idle rescues it or cells
-    spill.
+    spill.  *seeds* and *fast_path* are accepted only for the uniform
+    contract.
     """
-    config = aurora_oc12()
+    del seeds, fast_path
+    config = config if config is not None else aurora_oc12()
     series = Series(name="rx fifo", x_label="fifo_cells")
     for depth in fifo_depths:
         cfg = replace(config, rx_fifo_cells=depth)
@@ -559,10 +610,19 @@ def run_f5(
 # ---------------------------------------------------------------------------
 
 def run_t4(
+    config: Optional[NicConfig] = None,
+    *,
+    seeds: Optional[Sequence[int]] = None,
+    fast_path: bool = False,
     sdu_size: int = 9180,
     window: float = 0.02,
 ) -> ExperimentResult:
-    """T4: buffer-memory traffic per cell vs the memory's capability."""
+    """T4: buffer-memory traffic per cell vs the memory's capability.
+
+    Compares the OC-3 and OC-12 presets side by side, so *config* (like
+    *seeds* and *fast_path*) is accepted only for the uniform contract.
+    """
+    del config, seeds, fast_path
     headers = [
         "link",
         "offered (Mb/s)",
@@ -649,13 +709,16 @@ def _f6_point(params: Dict[str, Any], streams: RandomStreams) -> Dict[str, float
 
 
 def run_f6(
+    config: Optional[NicConfig] = None,
+    *,
+    seeds: Optional[Sequence[int]] = None,
+    fast_path: bool = False,
     vc_counts: Sequence[int] = (1, 2, 4, 8, 16, 32, 64, 128),
     sdu_size: int = 1500,
     window: float = 0.03,
     workers: int = 0,
     store: Optional[ResultStore] = None,
     log: Optional[RunLog] = None,
-    fast_path: bool = False,
 ) -> ExperimentResult:
     """F6: sustainable receive goodput vs interleaved VCs, CAM vs none.
 
@@ -663,8 +726,11 @@ def run_f6(
     every reassembly context is touched every N cells.  Delivery uses
     upstream backpressure (blocking FIFO put) to measure the sustainable
     rate rather than overload collapse; the host stages are zeroed so
-    the receive engine is the stage under test.
+    the receive engine is the stage under test.  Sweep points build
+    their configs from JSON parameters, so *config* (like *seeds*) is
+    accepted only for the uniform contract.
     """
+    del config, seeds
     # ``fast_path`` joins the point content only when set, so scalar
     # runs keep their historical content hashes (warm caches stay warm).
     fixed: Dict[str, Any] = {"sdu_size": sdu_size, "window": window}
@@ -774,6 +840,10 @@ def _t5_point(params: Dict[str, Any], streams: RandomStreams) -> Dict[str, Any]:
 
 
 def run_t5(
+    config: Optional[NicConfig] = None,
+    *,
+    seeds: Optional[Sequence[int]] = None,
+    fast_path: bool = False,
     sdu_size: int = 9180,
     window: float = 0.04,
     workers: int = 0,
@@ -785,8 +855,11 @@ def run_t5(
     Per architecture we measure sustainable transmit capacity, receive
     capacity, and full-duplex aggregate (both directions active on one
     interface -- where a shared engine pays for its single instruction
-    stream).  Host cost columns come from the cycle models.
+    stream).  Host cost columns come from the cycle models.  Each
+    architecture point builds its own config, so *config* (like *seeds*
+    and *fast_path*) is accepted only for the uniform contract.
     """
+    del config, seeds, fast_path
     headers = [
         "architecture",
         "tx cap (Mb/s)",
@@ -869,6 +942,10 @@ def _f7_point(params: Dict[str, Any], streams: RandomStreams) -> Dict[str, float
 
 
 def run_f7(
+    config: Optional[NicConfig] = None,
+    *,
+    seeds: Optional[Sequence[int]] = None,
+    fast_path: bool = False,
     clocks_mhz: Sequence[float] = (10, 16, 20, 25, 33, 40, 50, 66),
     sdu_size: int = 9180,
     window: float = 0.02,
@@ -882,8 +959,11 @@ def run_f7(
     Per direction, the simulated point measures the *sustainable* rate:
     transmit by draining a greedy sender onto the wire, receive by
     feeding the engine through a backpressured FIFO, both with free
-    host software.
+    host software.  Sweep points derive their configs from the clock
+    axis, so *config* (like *seeds* and *fast_path*) is accepted only
+    for the uniform contract.
     """
+    del config, seeds, fast_path
     base = aurora_oc12()
     spec = SweepSpec.grid(
         "F7",
@@ -1021,11 +1101,19 @@ def _measure_duplex_aggregate(
 # ---------------------------------------------------------------------------
 
 def run_f8(
+    config: Optional[NicConfig] = None,
+    *,
+    seeds: Optional[Sequence[int]] = None,
+    fast_path: bool = False,
     sizes: Sequence[int] = (64, 256, 1024, 4096, 9180, 32768),
     window: float = 0.05,
 ) -> ExperimentResult:
-    """F8: cross-validation -- closed forms vs the discrete-event core."""
-    config = aurora_oc3()
+    """F8: cross-validation -- closed forms vs the discrete-event core.
+
+    *seeds* and *fast_path* are accepted only for the uniform contract.
+    """
+    del seeds, fast_path
+    config = config if config is not None else aurora_oc3()
     headers = [
         "sdu_bytes",
         "tx model (Mb/s)",
@@ -1085,6 +1173,10 @@ def run_f8(
 # ---------------------------------------------------------------------------
 
 def run_a1(
+    config: Optional[NicConfig] = None,
+    *,
+    seeds: Optional[Sequence[int]] = None,
+    fast_path: bool = False,
     sizes: Sequence[int] = (64, 512, 1500, 9180, 65535),
     window: float = 0.03,
 ) -> ExperimentResult:
@@ -1093,7 +1185,10 @@ def run_a1(
     The simple-and-efficient layer's pitch: AAL3/4 pays 4 of every 48
     payload bytes to per-cell SAR fields (plus a few engine cycles),
     so at link saturation it delivers ~44/48 of AAL5's goodput.
+    Compares AAL presets internally, so *config* (like *seeds* and
+    *fast_path*) is accepted only for the uniform contract.
     """
+    del config, seeds, fast_path
     series = Series(name="aal efficiency", x_label="sdu_bytes")
     for size in sizes:
         run_window = _window_for(size, window, STS3C_155)
@@ -1128,6 +1223,10 @@ def run_a1(
 
 
 def run_a2(
+    config: Optional[NicConfig] = None,
+    *,
+    seeds: Optional[Sequence[int]] = None,
+    fast_path: bool = False,
     sizes: Sequence[int] = (512, 9180),
     crc_cycles: int = 130,
 ) -> ExperimentResult:
@@ -1136,8 +1235,10 @@ def run_a2(
     Moving the CRC into engine software adds ~130 cycles per cell
     (table-driven over 48 bytes), multiplying the per-cell budget and
     collapsing the saturation throughput.  Pure closed-form: the cost
-    models make this a one-line ablation.
+    models make this a one-line ablation.  *config*, *seeds* and
+    *fast_path* are accepted only for the uniform contract.
     """
+    del config, seeds, fast_path
     headers = [
         "sdu_bytes",
         "hw CRC tx (Mb/s)",
@@ -1180,6 +1281,10 @@ def run_a2(
 
 
 def run_a3(
+    config: Optional[NicConfig] = None,
+    *,
+    seeds: Optional[Sequence[int]] = None,
+    fast_path: bool = False,
     windows_us: Sequence[float] = (0, 50, 200, 500),
     sdu_size: int = 1500,
     pdus: int = 60,
@@ -1188,8 +1293,10 @@ def run_a3(
 
     Merging completion interrupts amortises the entry/exit cycles but
     delays delivery by up to the coalescing window: the classic
-    throughput/latency trade, measured on the real pipeline.
+    throughput/latency trade, measured on the real pipeline.  *config*,
+    *seeds* and *fast_path* are accepted only for the uniform contract.
     """
+    del config, seeds, fast_path
     headers = [
         "window (us)",
         "interrupts",
@@ -1251,6 +1358,10 @@ def run_a3(
 
 
 def run_a4(
+    config: Optional[NicConfig] = None,
+    *,
+    seeds: Optional[Sequence[int]] = None,
+    fast_path: bool = False,
     burst_words: Sequence[int] = (8, 16, 32, 64, 128, 256),
     sdu_size: int = 9180,
 ) -> ExperimentResult:
@@ -1259,10 +1370,12 @@ def run_a4(
     Short bursts re-arbitrate constantly (setup cycles dominate); long
     bursts approach the bus's data-phase rate but hold it longer.  The
     effective bandwidth feeds straight into the large-PDU throughput
-    ceiling via the staging-DMA term.
+    ceiling via the staging-DMA term.  *seeds* and *fast_path* are
+    accepted only for the uniform contract.
     """
+    del seeds, fast_path
     series = Series(name="bus burst sweep", x_label="burst_words")
-    base = aurora_oc12()
+    base = config if config is not None else aurora_oc12()
     for words in burst_words:
         bus = replace(base.bus, max_burst_words=words)
         config = replace(base, bus=bus)
@@ -1361,15 +1474,16 @@ def _r1_measure(
 
 def run_r1(
     config: Optional[NicConfig] = None,
+    *,
+    seeds: Optional[Sequence[int]] = None,
+    fast_path: bool = False,
     loss_rates: Sequence[float] = (0.0, 0.005, 0.01, 0.02, 0.05),
     n_vcs: int = 8,
     sdu_size: int = 8192,
     window: float = 0.01,
-    seed: int = 7,
     workers: int = 0,
     store: Optional[ResultStore] = None,
     log: Optional[RunLog] = None,
-    fast_path: bool = False,
 ) -> ExperimentResult:
     """R1: goodput vs cell-loss rate with frame discard on vs off.
 
@@ -1380,7 +1494,11 @@ def run_r1(
     the CRC check while their surviving cells still burn engine cycles.
     EPD/PPD converts the same cell budget into whole delivered frames:
     refused frames cost nothing, admitted frames arrive intact.
+
+    R1 sweeps loss rates under one loss-model seed, so only the first
+    entry of *seeds* is used (historically the ``seed=7`` parameter).
     """
+    seed = seeds[0] if seeds else 7
     if config is not None:
         # A custom config is not a sweepable (JSON) parameter; run the
         # kernel-equivalent loop inline for that research use.
@@ -1463,7 +1581,13 @@ def _run_r1_custom(
 # O1: observability cross-check -- measured cycle budgets vs configured
 # ---------------------------------------------------------------------------
 
-def run_o1(duration: Optional[float] = None) -> ExperimentResult:
+def run_o1(
+    config: Optional[NicConfig] = None,
+    *,
+    seeds: Optional[Sequence[int]] = None,
+    fast_path: bool = False,
+    duration: Optional[float] = None,
+) -> ExperimentResult:
     """O1: the profiler's measured T1/T2 budgets vs the configured ones.
 
     T1/T2 print what the cost models are *configured* to charge; O1
@@ -1472,8 +1596,10 @@ def run_o1(duration: Optional[float] = None) -> ExperimentResult:
     greedy-transmit scenario) and checks they agree.  A nonzero
     deviation would mean the pipeline charged cycles the budget tables
     do not show -- exactly the drift the observability layer exists to
-    catch.
+    catch.  Runs the traced F2 scenario as-is, so *config*, *seeds*
+    and *fast_path* are accepted only for the uniform contract.
     """
+    del config, seeds, fast_path
     from repro.obs.runner import run_traced
 
     run = run_traced("f2", duration=duration)
@@ -1533,10 +1659,12 @@ def run_o1(duration: Optional[float] = None) -> ExperimentResult:
 # ---------------------------------------------------------------------------
 
 # R2 lives with the recovery plane it measures; P1 with the fast path
-# it benchmarks; C1 with the traffic-management plane.  All import
-# ExperimentResult lazily, so these imports cannot cycle.
+# it benchmarks; C1 with the traffic-management plane; S1 with the
+# massive-multiplexing scale plane.  All import ExperimentResult
+# lazily, so these imports cannot cycle.
 from repro.resilience.experiment import run_r2  # noqa: E402
 from repro.results.perf import run_p1  # noqa: E402
+from repro.scale.experiment import run_s1  # noqa: E402
 from repro.tm.experiment import run_c1  # noqa: E402
 
 EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
@@ -1561,6 +1689,7 @@ EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
     "O1": run_o1,
     "P1": run_p1,
     "C1": run_c1,
+    "S1": run_s1,
 }
 
 

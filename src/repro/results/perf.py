@@ -36,7 +36,7 @@ from repro.atm.addressing import VcAddress
 from repro.atm.burst import CellBurst
 from repro.nic.config import aurora_oc3
 from repro.nic.nic import HostNetworkInterface
-from repro.obs.metrics import MetricsRegistry, instrument_interface
+from repro.obs.metrics import MetricsRegistry, instrument
 from repro.sim.core import SimConfig, Simulator
 from repro.workloads.generators import make_payload
 
@@ -91,7 +91,7 @@ def drained_rx_run(
     sim = Simulator(SimConfig(fast_path=fast_path))
     nic = HostNetworkInterface(sim, config, name="rxhost")
     registry = MetricsRegistry(sim)
-    instrument_interface(registry, nic)
+    instrument(registry, nic)
     received: List[Any] = []
     nic.on_pdu = received.append
     vc = nic.open_vc(address=VcAddress(0, 100))
@@ -152,6 +152,10 @@ def _best_seconds(fn: Any, repeats: int) -> Tuple[float, Any]:
 
 
 def run_p1(
+    config=None,
+    *,
+    seeds: Optional[Sequence[int]] = None,
+    fast_path: bool = False,
     f3_sizes: Sequence[int] = (9180,),
     f3_window: float = 0.03,
     f6_vc_counts: Sequence[int] = (4, 16),
@@ -170,7 +174,11 @@ def run_p1(
     (``benchmarks/baselines/P1.json``) pins both verdicts and the
     deterministic ``events_ratio``, leaving the raw wall-clock numbers
     ungated (they describe the machine, not the model).
+
+    P1 runs both lanes by construction, so *config*, *seeds* and
+    *fast_path* are accepted only for the uniform contract.
     """
+    del config, seeds, fast_path
     # Imported here, not at module top: experiments.py imports this
     # module to build the registry, exactly like run_r2.
     from repro.results.experiments import ExperimentResult, run_f3, run_f6

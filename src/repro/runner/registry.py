@@ -26,7 +26,7 @@ from repro.results.experiments import EXPERIMENTS, ExperimentResult
 from repro.runner.store import ResultStore, RunLog
 
 #: Experiments migrated onto the sweep runner (accept workers/store/log).
-SWEEP_IDS = frozenset({"F6", "T5", "F7", "R1", "R2", "C1"})
+SWEEP_IDS = frozenset({"F6", "T5", "F7", "R1", "R2", "C1", "S1"})
 
 #: Reduced parameters the bench gate runs each benched experiment with.
 #: Chosen so the whole gated set finishes in seconds while every
@@ -42,6 +42,10 @@ BENCH_KWARGS: Dict[str, Dict[str, Any]] = {
     # the empty dict just opts it into the default gate set.
     "P1": {},
     "C1": {"seeds": [1, 2], "duration": 0.06, "warmup": 0.02},
+    # S1 cannot be shrunk much below its defaults: the >= 2048
+    # concurrency bar needs the full Poisson steady state, so it is the
+    # one long-running bench entry (the CI scale job runs it alone).
+    "S1": {"seeds": [1, 2]},
 }
 
 

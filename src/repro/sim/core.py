@@ -289,12 +289,19 @@ class CalendarQueue:
 
         Advances the base cursor past empty buckets as a side effect, so
         a peek immediately followed by a pop is O(1) amortised.
+
+        The overflow heap's top competes with the window's: the base
+        cursor only advances on pops, so an entry that overflowed the
+        window at push time can become the global minimum while the
+        window is still busy with later buckets.
         """
         if self._len == 0:
             return float("inf")
         for _ in range(self._n):
             bucket = self._buckets[self._base % self._n]
             if bucket:
+                if self._overflow and self._overflow[0][0] < bucket[0][0]:
+                    return self._overflow[0][0]
                 return bucket[0][0]
             self._base += 1
         return self._overflow[0][0]
@@ -307,6 +314,11 @@ class CalendarQueue:
         for _ in range(n):
             bucket = self._buckets[self._base % n]
             if bucket:
+                # Full-tuple comparison so same-time entries keep the
+                # binary heap's (time, priority, sequence) tie order.
+                if self._overflow and self._overflow[0] < bucket[0]:
+                    self._len -= 1
+                    return heapq.heappop(self._overflow)
                 self._len -= 1
                 return heapq.heappop(bucket)
             self._base += 1
@@ -355,6 +367,10 @@ class Simulator:
         #: observability counter (exposed as ``sim.events_processed`` by
         #: the metrics layer; see :mod:`repro.obs.metrics`).
         self.events_processed = 0
+        #: High-water mark of queued entries, updated O(1) on every
+        #: push.  The scale experiments chart this against VC count to
+        #: show the scheduler's footprint stays bounded under churn.
+        self.peak_queue_occupancy = 0
 
     # -- clock -----------------------------------------------------------
 
@@ -407,8 +423,12 @@ class Simulator:
         entry = (when, priority, self._sequence, event)
         if self._calendar is not None:
             self._calendar.push(entry)
+            occupancy = len(self._calendar)
         else:
             heapq.heappush(self._queue, entry)
+            occupancy = len(self._queue)
+        if occupancy > self.peak_queue_occupancy:
+            self.peak_queue_occupancy = occupancy
 
     # -- execution -------------------------------------------------------
 

@@ -34,11 +34,8 @@ from __future__ import annotations
 from typing import Any, Dict, Optional, Sequence
 
 from repro.atm.addressing import VcAddress
-from repro.atm.link import PhysicalLink
-from repro.atm.mux import OutputPort
-from repro.atm.switch import AtmSwitch, RoutingEntry
+from repro.net import Testbed
 from repro.nic.config import aurora_oc3
-from repro.nic.nic import HostNetworkInterface
 from repro.runner import ResultStore, RunLog, SweepSpec, run_sweep
 from repro.sim.core import SimConfig, Simulator
 from repro.sim.random import RandomStreams
@@ -69,47 +66,28 @@ def _bottleneck_run(
     weights = {VcAddress(0, 32 + i): i + 1 for i in range(n_sources)}
     vcs = sorted(weights, key=lambda vc: vc.vci)
 
-    sources = [
-        HostNetworkInterface(sim, cfg, name=f"s{i}") for i in range(n_sources)
-    ]
-    dest = HostNetworkInterface(sim, cfg, name="d")
-
-    # Wire back-to-front: ports need their links, links need their sinks.
-    to_dest = PhysicalLink(sim, spec, sink=dest.rx_input, name="sw2->d")
-    egress = OutputPort(sim, to_dest, name="p-egress")
-    return_ports = []
-    for i, source in enumerate(sources):
-        back = PhysicalLink(
-            sim, spec, sink=source.rx_input, name=f"sw2->s{i}"
-        )
-        return_ports.append(OutputPort(sim, back, name=f"p-ret{i}"))
-    sw2 = AtmSwitch(sim, [egress] + return_ports, name="sw2")
-    mid = PhysicalLink(sim, spec, sink=sw2.input(0), name="sw1->sw2")
-    bottleneck = OutputPort(
-        sim,
-        mid,
+    tb = Testbed(default_config=cfg)
+    for i in range(n_sources):
+        tb.add_host(f"s{i}")
+    tb.add_host("d")
+    tb.add_switch("sw1").add_switch("sw2")
+    tb.link(
+        "sw1",
+        "sw2",
         buffer_cells=buffer_cells,
-        name="bottleneck",
         efci_threshold=efci_threshold if closed_loop else None,
+        port_name="bottleneck",
     )
-    sw1 = AtmSwitch(sim, [bottleneck], name="sw1")
-    for i, source in enumerate(sources):
-        access = PhysicalLink(sim, spec, sink=sw1.input(i), name=f"s{i}->sw1")
-        source.attach_tx_link(access)
-    return_in = PhysicalLink(
-        sim, spec, sink=sw2.input(n_sources), name="d->sw2"
-    )
-    dest.attach_tx_link(return_in)
-
+    tb.link("sw2", "d", port_name="p-egress")
+    for i in range(n_sources):
+        tb.link("sw2", f"s{i}", port_name=f"p-ret{i}")
+    for i in range(n_sources):
+        tb.link(f"s{i}", "sw1")
+    tb.link("d", "sw2")
     for i, vc in enumerate(vcs):
-        # Forward data+RM: source i -> bottleneck -> egress -> dest.
-        sw1.add_route(i, vc, RoutingEntry(0, vc.vpi, vc.vci))
-        sw2.add_route(0, vc, RoutingEntry(0, vc.vpi, vc.vci))
-        # Backward RM: dest -> switch 2 -> source i.
-        sw2.add_route(n_sources, vc, RoutingEntry(1 + i, vc.vpi, vc.vci))
         if closed_loop:
             # No static contract: the ABR agent owns the pacing rate.
-            sources[i].open_vc(address=vc)
+            peak = None
         else:
             # Open loop, era-style: every VC shaped to a static
             # contract peak, with the contracts overbooking the
@@ -118,13 +96,20 @@ def _bottleneck_run(
             # phase-locking into a single winner at the drop-tail
             # merge, so the losses hole every source's frames.
             peak = spec.payload_rate_bps * 0.55 * (1.0 + 0.02 * i)
-            sources[i].open_vc(address=vc, peak_rate_bps=peak)
-        dest.open_vc(address=vc)
+        # Forward data+RM: source i -> bottleneck -> egress -> dest;
+        # backward RM: dest -> switch 2 -> source i.
+        tb.vc(vc, [f"s{i}", "sw1", "sw2", "d"], peak_rate_bps=peak)
+        tb.route(vc, ["d", "sw2", f"s{i}"])
+    net = tb.build(sim)
+    sources = [net.hosts[f"s{i}"] for i in range(n_sources)]
+    dest = net.hosts["d"]
+    mid = net.links["sw1->sw2"]
+    bottleneck = net.ports["bottleneck"]
 
     if closed_loop:
         EricaAllocator(
             sim,
-            sw1,
+            net.switches["sw1"],
             target_utilization=C1_TARGET_UTILIZATION,
             weight_of=weights.get,
         )
@@ -229,7 +214,10 @@ def _c1_point(
 
 
 def run_c1(
-    seeds: Sequence[int] = (1, 2, 3),
+    config=None,
+    *,
+    seeds: Optional[Sequence[int]] = None,
+    fast_path: bool = False,
     duration: float = 0.06,
     warmup: float = 0.02,
     n_sources: int = 3,
@@ -245,8 +233,12 @@ def run_c1(
     Each seed runs the same contended scenario twice -- with the ABR
     control loop closed and wide open -- and reports bottleneck
     utilization, the weighted-fairness deviation, queue extremes, and
-    the goodput gap.  See ``docs/TRAFFIC.md``.
+    the goodput gap.  See ``docs/TRAFFIC.md``.  Sweep points build
+    their configs from JSON parameters, so *config* (like *fast_path*)
+    is accepted only for the uniform contract.
     """
+    del config, fast_path
+    seeds = tuple(seeds) if seeds is not None else (1, 2, 3)
     from repro.results.experiments import ExperimentResult
 
     spec = SweepSpec.grid(

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.atm import RESERVED_VCI_LIMIT, VcAddress, VcTable
-from repro.atm.addressing import first_user_vci
+from repro.atm.addressing import MAX_VCI, first_user_vci
 from repro.atm.vc import AalType, ServiceClass, VcState
 
 
@@ -48,6 +48,38 @@ class TestVcTable:
         table = VcTable()
         vc = table.open(address=VcAddress(1, 100))
         assert table.lookup(VcAddress(1, 100)) is vc
+
+    def test_allocation_cursor_wraps_without_immediate_reuse(self):
+        # Churn: the cursor keeps moving forward past closed VCIs (so
+        # in-flight stragglers cannot misdeliver into a fresh call)...
+        table = VcTable()
+        first = table.open()
+        table.close(first.address)
+        second = table.open()
+        assert second.address != first.address
+        # ...and wraps at MAX_VCI instead of exhausting: park the
+        # cursor at the top of the space, then allocate across the seam.
+        table._next_vci = MAX_VCI
+        top = table.open()
+        assert top.address.vci == MAX_VCI
+        wrapped = table.open()
+        assert RESERVED_VCI_LIMIT <= wrapped.address.vci < MAX_VCI
+
+    def test_wraparound_skips_still_open_vcis(self):
+        table = VcTable()
+        held = [table.open() for _ in range(3)]
+        table._next_vci = MAX_VCI + 1  # force an immediate wrap
+        table._next_vci = RESERVED_VCI_LIMIT
+        fresh = table.open()
+        assert fresh.address not in {vc.address for vc in held}
+
+    def test_full_table_raises_exhausted(self):
+        table = VcTable()
+        span = MAX_VCI - RESERVED_VCI_LIMIT + 1
+        for _ in range(span):
+            table.open()
+        with pytest.raises(RuntimeError, match="exhausted"):
+            table.open()
 
     def test_duplicate_open_rejected(self):
         table = VcTable()

@@ -274,6 +274,31 @@ class TestMetricsRegistry:
         assert "h" not in registry.series
         assert registry.snapshot()["h"] == {"p50": 1.0}
 
+    def test_instrument_dispatches_on_type(self, sim):
+        from repro.atm.link import PhysicalLink
+        from repro.obs import instrument
+
+        registry = MetricsRegistry(sim)
+        link = PhysicalLink(sim, aurora_oc3().link, name="wire")
+        instrument(registry, link)
+        assert "link.cells_sent" in registry
+
+    def test_instrument_unknown_type_names_known_ones(self, sim):
+        from repro.obs import instrument
+
+        with pytest.raises(TypeError, match="PhysicalLink"):
+            instrument(MetricsRegistry(sim), object())
+
+    def test_deprecated_aliases_warn_and_still_work(self, sim):
+        from repro.atm.link import PhysicalLink
+        from repro.obs import instrument_link
+
+        registry = MetricsRegistry(sim)
+        link = PhysicalLink(sim, aurora_oc3().link, name="wire")
+        with pytest.warns(DeprecationWarning, match="instrument_link"):
+            instrument_link(registry, link)
+        assert "link.cells_sent" in registry
+
     def test_r1_campaign_metrics_account_for_loss(self):
         run = run_traced("r1", duration=2e-3)
         snap = run.registry.snapshot()

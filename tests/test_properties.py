@@ -471,3 +471,95 @@ class TestWrrInvariants:
         # Continuous backlog: service counts follow the weights exactly.
         for key, weight in enumerate(weights):
             assert wrr.served[key] == weight * rounds
+
+
+class TestCamChurnModel:
+    """The LRU CAM against a reference model, for any op sequence.
+
+    The model is a plain dict plus an explicit recency list; the CAM
+    must agree with it on every lookup, never exceed capacity, never
+    displace a pinned entry, and charge ``capacity_misses`` exactly for
+    keys that lost their entry to eviction and were not since
+    reprogrammed or removed.
+    """
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        capacity=st.integers(1, 4),
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["install", "remove", "lookup", "pin"]),
+                st.integers(0, 7),
+            ),
+            max_size=60,
+        ),
+    )
+    def test_lru_cam_matches_reference_model(self, capacity, ops):
+        import pytest
+
+        from repro.nic.cam import Cam, CamFullError
+
+        cam = Cam(capacity, eviction="lru")
+        model = {}
+        recency = []  # least recent first
+        pinned = set()
+        evicted = set()
+        expected_capacity_misses = 0
+
+        for op, key in ops:
+            if op == "install":
+                if key not in model and len(model) >= capacity:
+                    victim = next(
+                        (k for k in recency if k not in pinned), None
+                    )
+                    if victim is None:
+                        with pytest.raises(CamFullError):
+                            cam.install(key, key * 10)
+                        continue
+                    del model[victim]
+                    recency.remove(victim)
+                    evicted.add(victim)
+                cam.install(key, key * 10)
+                model[key] = key * 10
+                if key in recency:
+                    recency.remove(key)
+                recency.append(key)
+                evicted.discard(key)
+            elif op == "remove":
+                assert cam.remove(key) == model.pop(key, None)
+                if key in recency:
+                    recency.remove(key)
+                evicted.discard(key)
+                pinned.discard(key)
+            elif op == "lookup":
+                assert cam.lookup(key) == model.get(key)
+                if key in model:
+                    recency.remove(key)
+                    recency.append(key)
+                elif key in evicted:
+                    expected_capacity_misses += 1
+            else:  # pin
+                cam.pin(key)
+                pinned.add(key)
+
+            assert len(cam) == len(model) <= capacity
+            assert cam.capacity_misses == expected_capacity_misses
+            for k in pinned:
+                if k in model:
+                    assert k in cam  # pinned entries survive any churn
+
+        assert cam.hits + cam.misses == sum(
+            1 for op, _ in ops if op == "lookup"
+        )
+
+    def test_none_policy_full_cam_raises(self):
+        import pytest
+
+        from repro.nic.cam import Cam, CamFullError
+
+        cam = Cam(2, eviction="none")
+        cam.install(1, "a")
+        cam.install(2, "b")
+        cam.install(1, "a2")  # reprogramming an existing key is fine
+        with pytest.raises(CamFullError):
+            cam.install(3, "c")

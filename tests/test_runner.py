@@ -499,13 +499,13 @@ class TestRegistryAndBench:
 
 
 def test_instrument_executor_exposes_counters():
-    from repro.obs import instrument_executor
+    from repro.obs import instrument
     from repro.obs.metrics import MetricsRegistry
     from repro.sim.core import Simulator
 
     registry = MetricsRegistry(Simulator())
     executor = Executor(workers=0)
-    instrument_executor(registry, executor)
+    instrument(registry, executor)
     executor.run(SweepSpec.grid("X", axes={"x": (1, 2)}), noisy_kernel)
     snap = registry.snapshot()
     assert snap["runner.points"] == 2

@@ -205,6 +205,45 @@ class TestCalendarScheduler:
             "calendar", times, calendar_bucket_width=1e-9, calendar_buckets=1
         ) == self._pop_order("heap", times)
 
+    def test_overflow_due_while_window_busy_is_not_stranded(self):
+        # Regression: an overflow event can come due while near events
+        # keep landing inside the wheel's window (dense self-scheduling
+        # workloads -- exactly S1's churn shape).  The wheel only
+        # rebases on empty-window scans, so the overflow top must be
+        # compared lazily on every peek/pop, not just after a rebase;
+        # the original code stranded it until the wheel went idle,
+        # running events out of order.  Upfront schedules (the tests
+        # above) never trip this: it needs events scheduled *from
+        # running callbacks* that keep the window occupied past the
+        # overflow event's deadline.
+        from repro.sim.core import SimConfig
+
+        def run(scheduler):
+            sim = Simulator(
+                SimConfig(
+                    scheduler=scheduler,
+                    calendar_bucket_width=1e-3,
+                    calendar_buckets=8,  # window = 8 ms
+                )
+            )
+            log = []
+
+            def tick(n):
+                log.append(("tick", round(sim.now, 9)))
+                if n:
+                    # Stay inside the window, forever occupying it...
+                    sim.schedule_call(2e-3, tick, n - 1)
+                if n == 18:
+                    # ...then lob one event far past the window; it
+                    # comes due at 25 ms, mid-stream of the ticks.
+                    sim.schedule_call(21e-3, log.append, ("far", 1))
+
+            sim.schedule_call(0.0, tick, 20)
+            sim.run()
+            return log, sim.now, sim.events_processed
+
+        assert run("calendar") == run("heap")
+
     def test_run_until_leaves_future_events_queued(self):
         from repro.sim.core import SimConfig
 

@@ -64,6 +64,7 @@ FAMILY_CASES = [
     ("SL3", "taxonomy_violations.py", "SL301", 7, 15),
     ("SL4", "sim/scheduler_violations.py", "SL104", 9, 34),
     ("SL5", "hooks_violations.py", "SL501", 7, 15),
+    ("SL503", "obs/metrics_dispatch.py", "SL503", 9, 14),
     ("SL6", "runner_violations.py", "SL601", 11, 29),
     ("SL7", "nic/fastpath_pairs.py", "SL701", 61, 83),
     ("SL704", "nic/fastpath_pairs.py", "SL704", 90, 97),
